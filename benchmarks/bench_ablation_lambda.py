@@ -1,0 +1,64 @@
+"""Ablation — sensitivity of the strategy switch to ``lambda``.
+
+``lambda`` is the guided-op : BiBFS-op time ratio (Sec. V-D4). The paper's
+C++ constant is small; our measured CPython value is several times larger
+(see ``calibrate_lambda``). This bench sweeps ``lambda`` and reports how
+often the round-1 decision keeps the guided search alive — quantifying the
+"interpreted-speed" deviation DESIGN.md and EXPERIMENTS.md discuss.
+"""
+
+from repro.core.cost import CostModel
+from repro.core.ifca import IFCA
+from repro.core.params import IFCAParams
+from repro.datasets.registry import DATASET_ORDER, load_analog
+from repro.dynamic.events import materialize
+from repro.experiments.lambda_calibration import calibrate_lambda
+from repro.experiments.runner import time_queries_ms
+from repro.workloads.queries import generate_queries
+
+from benchmarks.conftest import once
+
+LAMBDAS = [0.25, 1.0, 1.7, 4.0, 8.0]
+
+
+def run_lambda_sweep():
+    rows = []
+    measured = calibrate_lambda(repetitions=2)
+    for code in ("EN", "FL", "WT"):
+        _, initial, stream = load_analog(code, seed=0)
+        graph = materialize(initial, stream)
+        queries = generate_queries(graph, 40, seed=9)
+        for lam in LAMBDAS:
+            params = IFCAParams(lambda_ratio=lam)
+            engine = IFCA(graph, params)
+            resolved = params.resolve(graph)
+            model = CostModel(graph, resolved)
+            holds_guided = not model.initial_switch_decision(
+                graph.num_vertices, graph.num_edges, resolved.epsilon_init
+            )
+            rows.append(
+                {
+                    "dataset": code,
+                    "lambda": lam,
+                    "round1_keeps_guided": holds_guided,
+                    "avg_query_time_ms": time_queries_ms(
+                        engine.is_reachable, queries
+                    ),
+                    "measured_python_lambda": round(measured, 2),
+                }
+            )
+    return rows
+
+
+def test_ablation_lambda_sensitivity(benchmark, emit):
+    rows = once(benchmark, run_lambda_sweep)
+    emit(
+        "ablation_lambda",
+        "round-1 strategy decision and query time vs lambda",
+        rows,
+        parameters={"lambdas": LAMBDAS},
+    )
+    # Monotone: raising lambda can only push the decision toward BiBFS.
+    for code in ("EN", "FL", "WT"):
+        flags = [r["round1_keeps_guided"] for r in rows if r["dataset"] == code]
+        assert flags == sorted(flags, reverse=True)

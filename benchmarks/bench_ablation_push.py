@@ -1,0 +1,69 @@
+"""Ablation — push weighting style and worklist discipline.
+
+Beyond the paper's figures: how the two push-based design choices DESIGN.md
+calls out affect IFCA.
+
+* forward vs. backward push (Sec. III-A's two weighting schemes; Lemma 1
+  prices backward push an extra ``d_avg`` factor);
+* greedy (highest-residue-first) vs. LIFO worklist for Alg. 3's
+  "choose any u".
+
+Measured on the Contract variant (cost model off) so the guided machinery
+is actually exercised rather than switched away.
+"""
+
+import pytest
+
+from repro.core.ifca import IFCA
+from repro.core.params import IFCAParams
+from repro.datasets.registry import load_analog
+from repro.dynamic.events import materialize
+from repro.experiments.runner import time_queries_ms
+from repro.workloads.queries import generate_queries
+
+from benchmarks.conftest import once
+
+VARIANTS = {
+    "forward+greedy": IFCAParams(use_cost_model=False),
+    "forward+lifo": IFCAParams(use_cost_model=False, push_order="lifo"),
+    "backward+greedy": IFCAParams(use_cost_model=False, push_style="backward"),
+    "backward+lifo": IFCAParams(
+        use_cost_model=False, push_style="backward", push_order="lifo"
+    ),
+}
+
+
+def run_ablation(graph, queries):
+    rows = []
+    for name, params in VARIANTS.items():
+        engine = IFCA(graph, params)
+        avg_ms = time_queries_ms(engine.is_reachable, queries)
+        accesses = 0
+        for s, t in queries:
+            _, stats = engine.query_with_stats(s, t)
+            accesses += stats.edge_accesses
+        rows.append(
+            {
+                "variant": name,
+                "avg_query_time_ms": avg_ms,
+                "avg_edge_accesses": accesses / max(len(queries), 1),
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("code", ["EN", "FL"])
+def test_ablation_push_variants(benchmark, emit, code):
+    _, initial, stream = load_analog(code, seed=0)
+    graph = materialize(initial, stream)
+    queries = generate_queries(graph, 40, seed=8)
+    rows = once(benchmark, run_ablation, graph, queries)
+    for row in rows:
+        row["dataset"] = code
+    emit(
+        f"ablation_push_{code}",
+        f"push style x worklist order (Contract variant) on the {code} analog",
+        rows,
+    )
+    assert len(rows) == 4
+    assert all(r["avg_edge_accesses"] > 0 for r in rows)

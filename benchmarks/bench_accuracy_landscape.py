@@ -1,0 +1,44 @@
+"""Extension bench — the accuracy-vs-time landscape of approximate methods.
+
+Fig. 7 and the ARROW tuning protocol each pin accuracy targets; this bench
+maps the full curve on a community analog. Paper-consistent shape checks:
+both approximate methods are one-sided (strict precision 1.0 — they only
+miss, never hallucinate a path), and accuracy is monotone in the budget
+knob up to sampling noise.
+"""
+
+from repro.datasets.registry import load_analog
+from repro.dynamic.events import materialize
+from repro.experiments.accuracy_study import (
+    run_arrow_accuracy_curve,
+    run_base_accuracy_curve,
+)
+
+from benchmarks.conftest import once
+
+EPSILONS = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+C_NUM_WALKS = [0.05, 0.2, 1.0, 4.0]
+
+
+def run_landscape():
+    _, initial, stream = load_analog("EP", seed=0)
+    graph = materialize(initial, stream)
+    rows = run_base_accuracy_curve(graph, EPSILONS, num_queries=60, seed=1)
+    rows += run_arrow_accuracy_curve(graph, C_NUM_WALKS, num_queries=60, seed=1)
+    return rows
+
+
+def test_accuracy_landscape(benchmark, emit):
+    rows = once(benchmark, run_landscape)
+    emit(
+        "ext_accuracy",
+        "accuracy/precision/recall vs knob for Base (Alg. 1) and ARROW",
+        rows,
+        parameters={"epsilons": EPSILONS, "c_num_walks": C_NUM_WALKS},
+    )
+    for row in rows:
+        assert row["precision"] == 1.0, "approximate methods must be one-sided"
+    base = [r for r in rows if r["method"] == "Base"]
+    assert base[-1]["accuracy"] >= base[0]["accuracy"]  # smaller eps, better
+    arrow = [r for r in rows if r["method"] == "ARROW"]
+    assert arrow[-1]["accuracy"] >= arrow[0]["accuracy"] - 0.05

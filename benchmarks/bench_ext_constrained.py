@@ -1,0 +1,104 @@
+"""Extension bench — label-constrained reachability (the paper's future work).
+
+Compares the two LCR strategies on a typed dynamic graph:
+
+* the view-cached IFCA engine (materialize the label-restricted subgraph
+  once per queried label set, answer from it, keep it in sync on updates);
+* on-the-fly filtering BiBFS (no state, label test per edge access).
+
+The cached engine pays a one-off materialization per label set and then
+answers at unconstrained speed; filtering pays a per-edge label lookup on
+every query. The bench reports both along with the view-maintenance cost.
+"""
+
+import random
+import time
+
+from repro.constrained.labeled import LabeledDiGraph
+from repro.constrained.lcr import ConstrainedReachability, constrained_bibfs
+
+from benchmarks.conftest import once
+
+LABELS = ("a", "b", "c")
+NUM_VERTICES = 800
+NUM_EDGES = 3200
+NUM_QUERIES = 150
+NUM_UPDATES = 300
+
+
+def build_labeled(seed: int) -> LabeledDiGraph:
+    rng = random.Random(seed)
+    g = LabeledDiGraph()
+    for v in range(NUM_VERTICES):
+        g.add_vertex(v)
+    while g.num_edges < NUM_EDGES:
+        u, v = rng.randrange(NUM_VERTICES), rng.randrange(NUM_VERTICES)
+        if u != v:
+            g.add_edge(u, v, rng.choice(LABELS))
+    return g
+
+
+def run_lcr_comparison():
+    rng = random.Random(3)
+    labeled = build_labeled(seed=1)
+    engine = ConstrainedReachability(labeled)
+    label_sets = [{"a"}, {"a", "b"}, set(LABELS)]
+    queries = [
+        (rng.randrange(NUM_VERTICES), rng.randrange(NUM_VERTICES), label_sets[i % 3])
+        for i in range(NUM_QUERIES)
+    ]
+
+    start = time.perf_counter()
+    for s, t, allowed in queries:
+        engine.query(s, t, allowed)
+    cached_ms = (time.perf_counter() - start) / NUM_QUERIES * 1000
+
+    start = time.perf_counter()
+    for s, t, allowed in queries:
+        constrained_bibfs(labeled, s, t, allowed)
+    filtering_ms = (time.perf_counter() - start) / NUM_QUERIES * 1000
+
+    # Update cost with three active views.
+    start = time.perf_counter()
+    for i in range(NUM_UPDATES):
+        u, v = rng.randrange(NUM_VERTICES), rng.randrange(NUM_VERTICES)
+        if u != v:
+            engine.insert_edge(u, v, rng.choice(LABELS))
+    update_ms = (time.perf_counter() - start) / NUM_UPDATES * 1000
+
+    agree = sum(
+        1
+        for s, t, allowed in queries[:50]
+        if engine.query(s, t, allowed) == constrained_bibfs(labeled, s, t, allowed)
+    )
+    return [
+        {
+            "strategy": "IFCA view-cached",
+            "avg_query_ms": cached_ms,
+            "avg_update_ms": update_ms,
+            "active_views": engine.active_view_count,
+        },
+        {
+            "strategy": "filtering BiBFS",
+            "avg_query_ms": filtering_ms,
+            "avg_update_ms": 0.0,
+            "active_views": 0,
+        },
+        {
+            "strategy": "(agreement on 50 queries)",
+            "avg_query_ms": float(agree),
+            "avg_update_ms": 0.0,
+            "active_views": 0,
+        },
+    ]
+
+
+def test_ext_constrained_reachability(benchmark, emit):
+    rows = once(benchmark, run_lcr_comparison)
+    emit(
+        "ext_lcr",
+        "label-constrained reachability: view-cached IFCA vs filtering BiBFS",
+        rows,
+    )
+    assert rows[2]["avg_query_ms"] == 50  # full agreement
+    assert rows[0]["active_views"] == 3

@@ -1,0 +1,88 @@
+"""Fig. 6 + Tab. III — comparison with the state of the art.
+
+Replays dataset analogs through IFCA, BiBFS, ARROW, TOL, IP and DAGGER,
+reporting average update and per-sign query times (the stacked bars of
+Fig. 6) and deriving Tab. III's IFCA-vs-BiBFS numbers.
+
+Paper shape checks:
+
+* TOL and IP's update time dominates their query time by orders of
+  magnitude, and dominates the index-free methods' update time;
+* index-free updates (IFCA, BiBFS, ARROW) are mutually comparable;
+* every exact method stays at accuracy 1.0 throughout the replay;
+* IFCA's query time stays in BiBFS's ballpark (the paper's 1-8x speedups
+  compress toward ~1x at analog scale — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.comparison import derive_table3, run_comparison_on_analog
+
+from benchmarks.conftest import once
+
+DATASETS = ["EN", "FL", "WT", "WG"]
+_collected = {}
+
+
+@pytest.mark.parametrize("code", DATASETS)
+def test_fig06_comparison(benchmark, emit, code):
+    rows = once(
+        benchmark,
+        run_comparison_on_analog,
+        code,
+        num_batches=4,
+        queries_per_batch=30,
+        seed=0,
+        max_updates=250,
+    )
+    _collected[code] = rows
+    emit(
+        f"fig06_{code}",
+        f"avg update + query time per method on the {code} analog",
+        rows,
+        columns=[
+            "dataset",
+            "method",
+            "avg_update_ms",
+            "avg_query_ms",
+            "avg_pos_query_ms",
+            "avg_neg_query_ms",
+            "accuracy",
+        ],
+    )
+    by_method = {r["method"]: r for r in rows}
+    for exact in ("IFCA", "BiBFS", "TOL", "IP", "DAGGER"):
+        assert by_method[exact]["accuracy"] == 1.0, exact
+    # Index maintenance dominates: TOL/IP update >> their query time and
+    # >> index-free update time.
+    for indexed in ("TOL", "IP"):
+        assert by_method[indexed]["avg_update_ms"] > 5 * by_method[indexed]["avg_query_ms"]
+        assert by_method[indexed]["avg_update_ms"] > 10 * by_method["IFCA"]["avg_update_ms"]
+    # Index-free updates are adjacency-only and mutually comparable.
+    assert by_method["IFCA"]["avg_update_ms"] < 20 * by_method["BiBFS"]["avg_update_ms"]
+    # IFCA tracks BiBFS on queries (the paper's >=1x compresses to ~1x here).
+    assert by_method["IFCA"]["avg_query_ms"] < 12 * by_method["BiBFS"]["avg_query_ms"]
+
+
+def test_tab03_speedups(benchmark, emit):
+    def derive():
+        rows = []
+        for code in DATASETS:
+            if code not in _collected:
+                _collected[code] = run_comparison_on_analog(
+                    code,
+                    num_batches=4,
+                    queries_per_batch=30,
+                    seed=0,
+                    max_updates=250,
+                )
+            rows.extend(_collected[code])
+        return derive_table3(rows)
+
+    table = once(benchmark, derive)
+    emit(
+        "tab03",
+        "IFCA vs BiBFS average query time and speedups",
+        table,
+    )
+    assert len(table) == len(DATASETS)

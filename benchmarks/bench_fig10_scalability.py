@@ -1,0 +1,52 @@
+"""Fig. 10 — IFCA scalability on two-block SBM snapshots.
+
+The paper varies block sizes 1e5..1e7 and average degrees 2.5..10 with
+``epsilon_pre`` pinned to 1e-4; we run the same sweep at laptop scale.
+
+Paper shape: query time grows with the number of vertices but *falls*
+slightly with density, because (a) the negative-query ratio drops on
+denser graphs and (b) positive pairs get closer. Both explanatory
+statistics are measured and asserted alongside the timings.
+"""
+
+from repro.experiments.scalability import run_scalability
+
+from benchmarks.conftest import once
+
+BLOCK_SIZES = [100, 300, 1000]
+DEGREES = [2.5, 5.0, 10.0]
+
+
+def test_fig10_scalability(benchmark, emit):
+    rows = once(
+        benchmark,
+        run_scalability,
+        BLOCK_SIZES,
+        DEGREES,
+        num_queries=40,
+        epsilon_pre=1e-4,
+        seed=7,
+    )
+    emit(
+        "fig10",
+        "IFCA avg query time on two-block SBMs varying n and d_avg",
+        rows,
+        parameters={"block_sizes": BLOCK_SIZES, "degrees": DEGREES},
+    )
+    cell = {(r["block_size"], r["avg_degree"]): r for r in rows}
+    # Larger graphs cost more at fixed degree.
+    assert (
+        cell[(1000, 5.0)]["avg_query_time_ms"]
+        > cell[(100, 5.0)]["avg_query_time_ms"]
+    )
+    # The paper's two density mechanisms:
+    for b in BLOCK_SIZES:
+        assert (
+            cell[(b, 10.0)]["negative_fraction"]
+            <= cell[(b, 2.5)]["negative_fraction"]
+        )
+        if cell[(b, 2.5)]["avg_positive_distance"] > 0:
+            assert (
+                cell[(b, 10.0)]["avg_positive_distance"]
+                <= cell[(b, 2.5)]["avg_positive_distance"]
+            )

@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the substrate hot paths.
+
+These use pytest-benchmark's statistical machinery properly (many rounds of
+cheap operations): graph updates, BFS/BiBFS scans, a forward-push drain,
+and the index methods' single-update cost. They are throughput baselines
+for regression tracking, not paper figures.
+"""
+
+import pytest
+
+from repro.baselines.bibfs import bibfs_is_reachable
+from repro.baselines.dagger import DaggerMethod
+from repro.baselines.tol import TOLMethod
+from repro.core.ifca import IFCA
+from repro.datasets.sbm import two_block_sbm
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import bfs_reachable
+from repro.ppr.common import PushConfig
+from repro.ppr.forward_push import forward_push
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return two_block_sbm(300, 6.0, seed=21)
+
+
+def test_micro_edge_update_roundtrip(benchmark, graph):
+    g = graph.copy()
+
+    def update():
+        g.add_edge(0, 599)
+        g.remove_edge(0, 599)
+
+    benchmark(update)
+
+
+def test_micro_bfs_full_scan(benchmark, graph):
+    result = benchmark(bfs_reachable, graph, 0)
+    assert len(result) > 1
+
+
+def test_micro_bibfs_positive_query(benchmark, graph):
+    assert benchmark(bibfs_is_reachable, graph, 0, 599) in (True, False)
+
+
+def test_micro_forward_push_drain(benchmark, graph):
+    config = PushConfig(alpha=0.1, epsilon=1e-4)
+    state = benchmark(forward_push, graph, 0, config)
+    assert state.edge_accesses > 0
+
+
+def test_micro_ifca_query(benchmark, graph):
+    engine = IFCA(graph)
+    assert benchmark(engine.is_reachable, 0, 599) in (True, False)
+
+
+def test_micro_tol_closure_preserving_update(benchmark, graph):
+    method = TOLMethod(graph.copy())
+    # 0 -> 1 exists inside a dense block: insert/delete of a redundant
+    # parallel path never changes the closure, the cheap update path.
+    def update():
+        method.insert_edge(0, 2)
+        method.delete_edge(0, 2)
+
+    benchmark(update)
+
+
+def test_micro_dagger_update(benchmark, graph):
+    method = DaggerMethod(graph.copy())
+
+    def update():
+        method.insert_edge(0, 599)
+        method.delete_edge(0, 599)
+
+    benchmark(update)

@@ -1,0 +1,69 @@
+"""Extension bench — the batch planner's closure/IFCA crossover.
+
+Times the same query batch answered three ways: per-query IFCA, per-query
+Alg. 5 BiBFS, and the planner (bitset transitive closure built once). The
+planner should win clearly at analytics batch sizes and the closure build
+should amortize within the batch.
+"""
+
+import random
+import time
+
+from repro.baselines.bibfs import bibfs_is_reachable
+from repro.core.ifca import IFCA
+from repro.core.planner import QueryPlanner
+from repro.datasets.registry import load_analog
+from repro.dynamic.events import materialize
+
+from benchmarks.conftest import once
+
+BATCH_SIZE = 2_000
+
+
+def run_planner_comparison():
+    _, initial, stream = load_analog("FL", seed=0)
+    graph = materialize(initial, stream)
+    rng = random.Random(4)
+    vs = list(graph.vertices())
+    batch = [(rng.choice(vs), rng.choice(vs)) for _ in range(BATCH_SIZE)]
+
+    engine = IFCA(graph)
+    start = time.perf_counter()
+    ifca_answers = [engine.is_reachable(s, t) for s, t in batch]
+    ifca_ms = (time.perf_counter() - start) * 1000
+
+    start = time.perf_counter()
+    bibfs_answers = [bibfs_is_reachable(graph, s, t) for s, t in batch]
+    bibfs_ms = (time.perf_counter() - start) * 1000
+
+    planner = QueryPlanner(graph)
+    start = time.perf_counter()
+    planner_answers = planner.query_batch(batch)
+    planner_ms = (time.perf_counter() - start) * 1000
+
+    assert ifca_answers == bibfs_answers == planner_answers
+    return [
+        {"strategy": "IFCA per-query", "batch_ms": ifca_ms},
+        {"strategy": "BiBFS per-query", "batch_ms": bibfs_ms},
+        {
+            "strategy": "planner (closure)",
+            "batch_ms": planner_ms,
+            "closure_builds": planner.closure_builds,
+        },
+    ]
+
+
+def test_planner_batch_crossover(benchmark, emit):
+    rows = once(benchmark, run_planner_comparison)
+    emit(
+        "ext_planner",
+        f"batch of {BATCH_SIZE} queries: per-query engines vs closure planner",
+        rows,
+    )
+    by_strategy = {r["strategy"]: r for r in rows}
+    assert by_strategy["planner (closure)"]["closure_builds"] == 1
+    # At analytics batch sizes the one-off closure build amortizes to a win.
+    assert (
+        by_strategy["planner (closure)"]["batch_ms"]
+        < by_strategy["IFCA per-query"]["batch_ms"]
+    )

@@ -1,0 +1,55 @@
+"""Shared benchmark plumbing.
+
+Every bench target regenerates one of the paper's tables/figures: it runs
+the corresponding experiment runner under pytest-benchmark (heavy runners
+use a single pedantic round), prints the same rows the paper reports, and
+appends an :class:`ExperimentRecord` to ``results/<experiment>.json`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.experiments.records import ExperimentRecord, save_records
+from repro.experiments.tables import format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a paper-style table and persist the record as JSON."""
+
+    def _emit(
+        experiment_id: str,
+        description: str,
+        rows: List[Dict[str, Any]],
+        parameters: Dict[str, Any] = None,
+        columns=None,
+    ) -> None:
+        record = ExperimentRecord(
+            experiment_id=experiment_id,
+            description=description,
+            parameters=parameters or {},
+            rows=rows,
+        )
+        print()
+        print(format_table(rows, columns=columns, title=f"[{experiment_id}] {description}"))
+        save_records([record], results_dir / f"{experiment_id}.json")
+
+    return _emit
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

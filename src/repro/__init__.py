@@ -1,0 +1,58 @@
+"""IFCA: index-free community-aware reachability over large dynamic graphs.
+
+A faithful reproduction of Pang, Zou, Liu (ICDE 2023). The package ships
+the full IFCA framework (probability-guided search, community contraction,
+cost-based strategy selection), every substrate it runs on (dynamic
+digraphs, SCC/DAG maintenance, PPR algorithms, community tools), the
+paper's competitors (BiBFS, ARROW, TOL, IP, DAGGER, plus DBL as an
+extension), dataset/workload generators, and the experiment harness that
+regenerates each table and figure.
+
+Quickstart::
+
+    from repro import DynamicDiGraph, IFCA
+
+    g = DynamicDiGraph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+    engine = IFCA(g)
+    assert engine.is_reachable(0, 3)
+    engine.insert_edge(3, 4)       # index-free: updates are O(1)
+    assert engine.is_reachable(0, 4)
+    engine.delete_edge(2, 3)
+    assert not engine.is_reachable(0, 4)
+"""
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.core.ifca import IFCA, IFCAMethod
+from repro.core.params import IFCAParams
+from repro.core.stats import QueryStats
+from repro.core.baseline import push_reachability
+from repro.baselines import (
+    ArrowMethod,
+    BiBFSMethod,
+    DaggerMethod,
+    DBLMethod,
+    IPMethod,
+    ReachabilityMethod,
+    TOLMethod,
+    bibfs_is_reachable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicDiGraph",
+    "IFCA",
+    "IFCAMethod",
+    "IFCAParams",
+    "QueryStats",
+    "push_reachability",
+    "bibfs_is_reachable",
+    "ReachabilityMethod",
+    "BiBFSMethod",
+    "ArrowMethod",
+    "TOLMethod",
+    "IPMethod",
+    "DaggerMethod",
+    "DBLMethod",
+    "__version__",
+]

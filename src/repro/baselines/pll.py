@@ -1,0 +1,107 @@
+"""PLL — static pruned 2-hop labeling on the original graph.
+
+The classic Label-Only construction (Cohen et al. 2003 labels built with
+the pruned-landmark technique of Akiba et al. 2013, adapted to
+reachability; the paper's related-work category [8-20]). Unlike TOL, this
+variant indexes the *original* graph directly (hops are vertices, SCCs are
+handled implicitly because mutually reachable vertices simply cover each
+other) and supports **no updates at all** — it exists to quantify what the
+paper says about static Label-Only schemes: fastest possible queries, and
+a full reconstruction on any change.
+
+The static-vs-dynamic trade is measured by ``bench_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.baselines.base import ReachabilityMethod
+from repro.graph.digraph import DynamicDiGraph
+
+
+class PLLMethod(ReachabilityMethod):
+    """Static pruned 2-hop labels; raises on any update."""
+
+    name = "PLL"
+    exact = True
+    supports_deletions = False
+
+    def __init__(self, graph: DynamicDiGraph) -> None:
+        super().__init__(graph)
+        self.label_in: Dict[int, Set[int]] = {}
+        self.label_out: Dict[int, Set[int]] = {}
+        self.build_count = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        graph = self.graph
+        self.label_in = {v: set() for v in graph.vertices()}
+        self.label_out = {v: set() for v in graph.vertices()}
+        order = sorted(
+            graph.vertices(),
+            key=lambda v: -(graph.in_degree(v) + 1) * (graph.out_degree(v) + 1),
+        )
+        rank = {v: i for i, v in enumerate(order)}
+        for hop in order:
+            self._pruned_bfs(hop, rank, forward=True)
+            self._pruned_bfs(hop, rank, forward=False)
+        self.build_count += 1
+
+    def _pruned_bfs(self, hop: int, rank: Dict[int, int], forward: bool) -> None:
+        graph = self.graph
+        own = self.label_in if forward else self.label_out
+        hop_rank = rank[hop]
+        queue = deque([hop])
+        visited = {hop}
+        while queue:
+            v = queue.popleft()
+            if v != hop and self._covered(hop, v, forward):
+                continue
+            own[v].add(hop)
+            for w in graph.neighbors(v, forward):
+                if w not in visited and rank[w] > hop_rank:
+                    visited.add(w)
+                    queue.append(w)
+
+    def _covered(self, hop: int, v: int, forward: bool) -> bool:
+        if forward:
+            return bool(self.label_out[hop] & self.label_in[v])
+        return bool(self.label_out[v] & self.label_in[hop])
+
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> bool:
+        if source == target:
+            return True
+        out_s = self.label_out.get(source)
+        in_t = self.label_in.get(target)
+        if out_s is None or in_t is None:
+            return False
+        return (
+            bool(out_s & in_t) or target in out_s or source in in_t
+        )
+
+    def insert_edge(self, source: int, target: int) -> None:
+        raise NotImplementedError(
+            "PLL is a static index; rebuild it for a new snapshot"
+        )
+
+    def delete_edge(self, source: int, target: int) -> None:
+        raise NotImplementedError(
+            "PLL is a static index; rebuild it for a new snapshot"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def index_size(self) -> int:
+        """Total number of label entries (the usual 2-hop size metric)."""
+        return sum(len(s) for s in self.label_in.values()) + sum(
+            len(s) for s in self.label_out.values()
+        )
+
+    def rebuild(self) -> None:
+        """Reconstruct the labels for the graph's current state — the only
+        way a static Label-Only index absorbs updates."""
+        self._build()

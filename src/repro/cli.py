@@ -1,0 +1,251 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro query GRAPH.txt SOURCE TARGET [--method ifca]
+    python -m repro stats GRAPH.txt
+    python -m repro generate sbm --block-size 100 --degree 5 OUT.txt
+    python -m repro compare EN [--max-updates 250]
+    python -m repro reproduce [--quick] [--out results]
+    python -m repro report [--markdown]
+    python -m repro calibrate-lambda
+
+Graphs are plain edge lists (``u v`` per line, ``#``/``%`` comments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.arrow import ArrowMethod
+from repro.baselines.base import ReachabilityMethod
+from repro.baselines.bibfs import BiBFSMethod
+from repro.baselines.dagger import DaggerMethod
+from repro.baselines.dbl import DBLMethod
+from repro.baselines.ip import IPMethod
+from repro.baselines.tol import TOLMethod
+from repro.core.ifca import IFCAMethod
+from repro.datasets.registry import DATASET_ORDER
+from repro.datasets.sbm import two_block_sbm
+from repro.datasets.scale_free import (
+    erdos_renyi_graph,
+    preferential_attachment_graph,
+    rmat_graph,
+    star_heavy_graph,
+)
+from repro.experiments.tables import format_table
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+METHOD_FACTORIES: Dict[str, Callable[[DynamicDiGraph], ReachabilityMethod]] = {
+    "ifca": lambda g: IFCAMethod(g),
+    "bibfs": lambda g: BiBFSMethod(g),
+    "arrow": lambda g: ArrowMethod(g, c_num_walks=1.0),
+    "tol": lambda g: TOLMethod(g),
+    "ip": lambda g: IPMethod(g),
+    "dagger": lambda g: DaggerMethod(g),
+    "dbl": lambda g: DBLMethod(g),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IFCA reachability toolkit (ICDE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="answer one reachability query")
+    q.add_argument("graph", help="edge-list file")
+    q.add_argument("source", type=int)
+    q.add_argument("target", type=int)
+    q.add_argument(
+        "--method", choices=sorted(METHOD_FACTORIES), default="ifca"
+    )
+    q.set_defaults(func=cmd_query)
+
+    s = sub.add_parser("stats", help="print basic statistics of a graph")
+    s.add_argument("graph", help="edge-list file")
+    s.add_argument(
+        "--exact-clustering",
+        action="store_true",
+        help="compute the exact clustering coefficient (O(sum d^2))",
+    )
+    s.set_defaults(func=cmd_stats)
+
+    g = sub.add_parser("generate", help="generate a synthetic graph")
+    g.add_argument(
+        "family",
+        choices=["sbm", "pa", "star", "er", "rmat"],
+        help="generator family",
+    )
+    g.add_argument("output", help="output edge-list file")
+    g.add_argument("--block-size", type=int, default=500)
+    g.add_argument("--degree", type=float, default=5.0)
+    g.add_argument("--n", type=int, default=1000)
+    g.add_argument("--out-degree", type=int, default=3)
+    g.add_argument("--hubs", type=int, default=8)
+    g.add_argument("--scale", type=int, default=10, help="rmat: n = 2**scale")
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(func=cmd_generate)
+
+    c = sub.add_parser(
+        "compare", help="replay a dataset analog through every method"
+    )
+    c.add_argument("dataset", choices=DATASET_ORDER)
+    c.add_argument("--max-updates", type=int, default=250)
+    c.add_argument("--batches", type=int, default=4)
+    c.add_argument("--queries-per-batch", type=int, default=25)
+    c.set_defaults(func=cmd_compare)
+
+    l = sub.add_parser(
+        "calibrate-lambda",
+        help="measure the guided-push : BiBFS per-operation time ratio",
+    )
+    l.add_argument("--repetitions", type=int, default=5)
+    l.set_defaults(func=cmd_calibrate)
+
+    r = sub.add_parser(
+        "report", help="render saved benchmark records as text tables"
+    )
+    r.add_argument(
+        "--results-dir", default="results", help="directory of *.json records"
+    )
+    r.add_argument(
+        "--markdown", action="store_true", help="emit GitHub-flavoured tables"
+    )
+    r.set_defaults(func=cmd_report)
+
+    rep = sub.add_parser(
+        "reproduce",
+        help="run the paper's full evaluation and save all records",
+    )
+    rep.add_argument("--out", default="results", help="output directory")
+    rep.add_argument(
+        "--quick", action="store_true", help="smaller workloads (smoke run)"
+    )
+    rep.add_argument(
+        "--quiet", action="store_true", help="suppress per-experiment tables"
+    )
+    rep.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    method = METHOD_FACTORIES[args.method](graph)
+    reachable = method.query(args.source, args.target)
+    print(
+        f"{args.source} -> {args.target}: "
+        f"{'reachable' if reachable else 'not reachable'} "
+        f"(method={method.name}, exact={method.exact})"
+    )
+    return 0 if reachable else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graph.stats import summarize
+
+    graph = read_edge_list(args.graph)
+    summary = summarize(graph, exact_clustering=args.exact_clustering)
+    category = (
+        "discernible communities"
+        if summary.has_discernible_communities
+        else "no discernible communities"
+    )
+    print(f"vertices:              {summary.num_vertices}")
+    print(f"edges:                 {summary.num_edges}")
+    print(f"average degree:        {summary.average_degree:.3f}")
+    print(f"max out/in degree:     {summary.max_out_degree} / {summary.max_in_degree}")
+    print(f"SCCs (largest):        {summary.num_sccs} ({summary.largest_scc})")
+    print(f"clustering coeff.:     {summary.clustering_coefficient:.5f} ({category})")
+    print(f"degree tail exponent:  {summary.degree_tail_exponent:.2f}")
+    print(f"reachable pairs:       {summary.reachable_pair_fraction:.1%}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "sbm":
+        graph = two_block_sbm(args.block_size, args.degree, seed=args.seed)
+    elif args.family == "pa":
+        graph = preferential_attachment_graph(
+            args.n, args.out_degree, seed=args.seed
+        )
+    elif args.family == "star":
+        graph = star_heavy_graph(args.n, num_hubs=args.hubs, seed=args.seed)
+    elif args.family == "rmat":
+        graph = rmat_graph(args.scale, args.out_degree, seed=args.seed)
+    else:
+        graph = erdos_renyi_graph(args.n, args.degree, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {args.family} graph (n={graph.num_vertices}, "
+        f"m={graph.num_edges}) to {args.output}"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.comparison import run_comparison_on_analog
+
+    rows = run_comparison_on_analog(
+        args.dataset,
+        num_batches=args.batches,
+        queries_per_batch=args.queries_per_batch,
+        max_updates=args.max_updates,
+    )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "method",
+                "avg_update_ms",
+                "avg_query_ms",
+                "avg_pos_query_ms",
+                "avg_neg_query_ms",
+                "accuracy",
+            ],
+            title=f"{args.dataset} analog",
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_report
+
+    print(render_report(args.results_dir, markdown=args.markdown))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import run_all
+
+    records = run_all(
+        out_dir=args.out,
+        quick=args.quick,
+        echo=None if args.quiet else print,
+    )
+    print(f"wrote {len(records)} experiment records to {args.out}/")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.experiments.lambda_calibration import calibrate_lambda
+
+    ratio = calibrate_lambda(repetitions=args.repetitions)
+    print(f"lambda (guided-push op time / BiBFS op time): {ratio:.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

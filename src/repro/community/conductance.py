@@ -1,0 +1,58 @@
+"""Conductance — the paper's community criterion (Sec. V-C).
+
+For a vertex set ``S`` on a directed graph ``G`` with ``m`` edges::
+
+    Phi(S) = |theta(S)| / min(vol(S), 2m - vol(S))
+
+where ``theta(S)`` is the set of edges leaving ``S`` and ``vol(S)`` sums
+``d_out + d_in`` over ``S``. Lower conductance means a denser, better
+separated community.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.graph.digraph import DynamicDiGraph
+
+
+def volume(graph: DynamicDiGraph, vertex_set: Iterable[int]) -> int:
+    """``vol(S) = sum_{v in S} (d_out(v) + d_in(v))``."""
+    return sum(graph.degree(v) for v in vertex_set)
+
+
+def external_edges(graph: DynamicDiGraph, vertex_set: Set[int]) -> int:
+    """``|theta(S)|``: the number of edges from inside ``S`` to outside."""
+    count = 0
+    for u in vertex_set:
+        for v in graph.out_neighbors(u):
+            if v not in vertex_set:
+                count += 1
+    return count
+
+
+def internal_edges(graph: DynamicDiGraph, vertex_set: Set[int]) -> int:
+    """The number of edges with both endpoints inside ``S``."""
+    count = 0
+    for u in vertex_set:
+        for v in graph.out_neighbors(u):
+            if v in vertex_set:
+                count += 1
+    return count
+
+
+def conductance(graph: DynamicDiGraph, vertex_set: Iterable[int]) -> float:
+    """The directed conductance ``Phi(S)`` as defined in the paper.
+
+    Degenerate cases: an empty set, a set covering all volume, or an
+    isolated set have conductance 1.0 (the worst value), so callers can
+    treat "not a community" uniformly.
+    """
+    s = set(vertex_set)
+    if not s:
+        return 1.0
+    vol_s = volume(graph, s)
+    denominator = min(vol_s, 2 * graph.num_edges - vol_s)
+    if denominator <= 0:
+        return 1.0
+    return external_edges(graph, s) / denominator

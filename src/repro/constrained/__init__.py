@@ -1,0 +1,32 @@
+"""Label-constrained reachability (LCR) — the paper's stated future work.
+
+"In the future, we plan to explore adapting our approach for various forms
+of constrained reachability queries" (Sec. VII). This subpackage provides
+that adaptation for the most common form, *label-constrained* reachability:
+every edge carries a label, and a query asks whether ``t`` is reachable
+from ``s`` using only edges whose labels belong to an allowed set.
+
+Engines provided:
+
+* :class:`~repro.constrained.lcr.ConstrainedReachability` — maintains one
+  IFCA engine per queried label set over an incrementally synchronized
+  filtered view of the labeled graph (updates stay O(#active views));
+* :func:`~repro.constrained.lcr.constrained_bibfs` — an on-the-fly
+  filtering BiBFS used as the exact cross-check and as the baseline for
+  the LCR ablation bench;
+* :class:`~repro.constrained.hop.HopBoundedReachability` — the other
+  classic constrained form, "within k hops", answered by a
+  distance-tracking bidirectional BFS.
+"""
+
+from repro.constrained.labeled import LabeledDiGraph
+from repro.constrained.lcr import ConstrainedReachability, constrained_bibfs
+from repro.constrained.hop import HopBoundedReachability, hop_bounded_reachable
+
+__all__ = [
+    "LabeledDiGraph",
+    "ConstrainedReachability",
+    "constrained_bibfs",
+    "HopBoundedReachability",
+    "hop_bounded_reachable",
+]

@@ -1,0 +1,110 @@
+"""Hop-constrained reachability: is ``t`` within ``k`` hops of ``s``?
+
+The second classic constrained-reachability form (after label constraints)
+from the paper's future-work direction. Bounded-hop questions arise
+wherever edges model one "step" of influence or risk: money that must
+launder through at most ``k`` accounts, access policies limited to
+friends-of-friends, and so on.
+
+The engine is a distance-tracking bidirectional BFS: expand the forward
+side to ``ceil(k/2)`` levels and the reverse side level by level,
+declaring success as soon as some vertex ``v`` has
+``dist_f(v) + dist_r(v) <= k``. Completeness: on any path of length
+``L <= k``, the vertex at forward-distance ``min(L, ceil(k/2))`` is
+reached by both searches with distances summing to at most ``L``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.digraph import DynamicDiGraph
+
+
+def hop_bounded_reachable(
+    graph: DynamicDiGraph, source: int, target: int, max_hops: int
+) -> bool:
+    """Whether a directed path of at most ``max_hops`` edges exists."""
+    if max_hops < 0:
+        raise ValueError("max_hops must be non-negative")
+    if source == target:
+        return source in graph
+    if source not in graph or target not in graph or max_hops == 0:
+        return False
+
+    forward_limit = (max_hops + 1) // 2
+    dist_f = _bounded_distances(graph, source, forward_limit, forward=True)
+    if dist_f.get(target, max_hops + 1) <= max_hops:
+        return True
+    # Reverse expansion: stop as soon as a meeting within budget exists.
+    dist_r: Dict[int, int] = {target: 0}
+    frontier: List[int] = [target]
+    for depth in range(1, max_hops + 1):
+        next_frontier: List[int] = []
+        for u in frontier:
+            for w in graph.in_neighbors(u):
+                if w in dist_r:
+                    continue
+                if dist_f.get(w, max_hops + 1) + depth <= max_hops:
+                    return True
+                dist_r[w] = depth
+                next_frontier.append(w)
+        if not next_frontier:
+            return False
+        frontier = next_frontier
+    return False
+
+
+def _bounded_distances(
+    graph: DynamicDiGraph, start: int, limit: int, forward: bool
+) -> Dict[int, int]:
+    dist = {start: 0}
+    frontier = [start]
+    for depth in range(1, limit + 1):
+        next_frontier: List[int] = []
+        for u in frontier:
+            for w in graph.neighbors(u, forward):
+                if w not in dist:
+                    dist[w] = depth
+                    next_frontier.append(w)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return dist
+
+
+class HopBoundedReachability:
+    """A small engine wrapper: fixed graph, per-query hop budgets.
+
+    Index-free like everything else here — updates are adjacency changes.
+    """
+
+    def __init__(self, graph: Optional[DynamicDiGraph] = None) -> None:
+        self.graph = graph if graph is not None else DynamicDiGraph()
+
+    def insert_edge(self, u: int, v: int) -> None:
+        self.graph.add_edge(u, v)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        self.graph.remove_edge(u, v)
+
+    def query(self, source: int, target: int, max_hops: int) -> bool:
+        return hop_bounded_reachable(self.graph, source, target, max_hops)
+
+    def min_hops(self, source: int, target: int, limit: int = 1 << 30) -> Optional[int]:
+        """The hop distance ``s -> t`` (binary search over the budget), or
+        ``None`` when unreachable within ``limit``."""
+        if source == target:
+            return 0 if source in self.graph else None
+        if not hop_bounded_reachable(
+            self.graph, source, target, min(limit, self.graph.num_vertices)
+        ):
+            return None
+        low, high = 1, min(limit, self.graph.num_vertices)
+        while low < high:
+            mid = (low + high) // 2
+            if hop_bounded_reachable(self.graph, source, target, mid):
+                high = mid
+            else:
+                low = mid + 1
+        return low

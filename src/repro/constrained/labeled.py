@@ -1,0 +1,98 @@
+"""A directed graph whose edges carry labels.
+
+The label model follows the label-constrained reachability literature
+(e.g. the index-free LCR work the paper cites as [56]): one label per
+edge, drawn from a small alphabet (relationship types, transaction kinds,
+link classes). Re-labeling an existing edge is an update like any other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.graph.digraph import DynamicDiGraph
+
+Label = Hashable
+Edge = Tuple[int, int]
+
+
+class LabeledDiGraph:
+    """A dynamic digraph with one label per edge.
+
+    Wraps a :class:`DynamicDiGraph` (exposed read-only as ``.graph``) plus
+    an edge-to-label map. All reachability semantics over label subsets
+    are defined by :meth:`restricted`.
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Tuple[int, int, Label]]] = None,
+    ) -> None:
+        self.graph = DynamicDiGraph()
+        self._labels: Dict[Edge, Label] = {}
+        if edges is not None:
+            for u, v, label in edges:
+                self.add_edge(u, v, label)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def labels(self) -> Set[Label]:
+        """The set of labels currently present on some edge."""
+        return set(self._labels.values())
+
+    def label_of(self, u: int, v: int) -> Label:
+        """The label of edge ``(u, v)``; raises ``KeyError`` if absent."""
+        return self._labels[(u, v)]
+
+    def edges(self) -> Iterator[Tuple[int, int, Label]]:
+        for (u, v), label in self._labels.items():
+            yield u, v, label
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._labels
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        self.graph.add_vertex(v)
+
+    def add_edge(self, u: int, v: int, label: Label) -> Optional[Label]:
+        """Insert or re-label edge ``(u, v)``.
+
+        Returns the previous label when the edge existed (a re-label),
+        otherwise ``None``.
+        """
+        previous = self._labels.get((u, v))
+        self.graph.add_edge(u, v)
+        self._labels[(u, v)] = label
+        return previous
+
+    def remove_edge(self, u: int, v: int) -> Optional[Label]:
+        """Delete edge ``(u, v)``; returns its label, or ``None``."""
+        label = self._labels.pop((u, v), None)
+        if label is not None:
+            self.graph.remove_edge(u, v)
+        return label
+
+    # ------------------------------------------------------------------
+    def restricted(self, allowed: Iterable[Label]) -> DynamicDiGraph:
+        """The subgraph containing exactly the edges whose label is
+        allowed (every vertex is retained)."""
+        allowed_set = set(allowed)
+        sub = DynamicDiGraph(vertices=self.graph.vertices())
+        for (u, v), label in self._labels.items():
+            if label in allowed_set:
+                sub.add_edge(u, v)
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledDiGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"labels={sorted(map(str, self.labels()))})"
+        )

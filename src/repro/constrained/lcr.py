@@ -1,0 +1,152 @@
+"""Label-constrained reachability engines.
+
+:class:`ConstrainedReachability` adapts IFCA to LCR exactly the way the
+framework's index-freeness suggests: a query under label set ``L`` is an
+ordinary reachability query on the ``L``-restricted subgraph, so the
+engine keeps one IFCA instance per *queried* label set over an
+incrementally synchronized filtered view. Updates are index-free all the
+way down: inserting an edge with label ``l`` touches the adjacency lists
+of precisely the active views whose set contains ``l``.
+
+The memory/latency trade-off is the classic LCR one: with an alphabet of
+``k`` labels there are ``2^k`` possible sets, but workloads query few
+distinct ones; views are created lazily and can be dropped via
+:meth:`ConstrainedReachability.evict`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.constrained.labeled import Label, LabeledDiGraph
+from repro.core.ifca import IFCA
+from repro.core.params import IFCAParams
+
+
+def constrained_bibfs(
+    labeled: LabeledDiGraph,
+    source: int,
+    target: int,
+    allowed: Iterable[Label],
+) -> bool:
+    """Exact LCR by bidirectional BFS with on-the-fly label filtering."""
+    graph = labeled.graph
+    if source == target:
+        return source in graph
+    if source not in graph or target not in graph:
+        return False
+    allowed_set = set(allowed)
+    label_of = labeled.label_of
+    visited_f: Set[int] = {source}
+    visited_r: Set[int] = {target}
+    frontier_f: List[int] = [source]
+    frontier_r: List[int] = [target]
+    while frontier_f or frontier_r:
+        if frontier_f:
+            next_f: List[int] = []
+            for u in frontier_f:
+                for w in graph.out_neighbors(u):
+                    if label_of(u, w) not in allowed_set or w in visited_f:
+                        continue
+                    if w in visited_r:
+                        return True
+                    visited_f.add(w)
+                    next_f.append(w)
+            frontier_f = next_f
+        if frontier_r:
+            next_r: List[int] = []
+            for u in frontier_r:
+                for w in graph.in_neighbors(u):
+                    if label_of(w, u) not in allowed_set or w in visited_r:
+                        continue
+                    if w in visited_f:
+                        return True
+                    visited_r.add(w)
+                    next_r.append(w)
+            frontier_r = next_r
+    return False
+
+
+class ConstrainedReachability:
+    """IFCA-backed label-constrained reachability over a dynamic graph."""
+
+    def __init__(
+        self,
+        labeled: Optional[LabeledDiGraph] = None,
+        params: Optional[IFCAParams] = None,
+        max_views: int = 64,
+    ) -> None:
+        if max_views <= 0:
+            raise ValueError("max_views must be positive")
+        self.labeled = labeled if labeled is not None else LabeledDiGraph()
+        self.params = params if params is not None else IFCAParams()
+        self.max_views = max_views
+        self._views: Dict[FrozenSet[Label], IFCA] = {}
+
+    # ------------------------------------------------------------------
+    # Updates: index-free, propagated to the affected views only
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int, label: Label) -> None:
+        previous = self.labeled.add_edge(u, v, label)
+        for label_set, engine in self._views.items():
+            engine.graph.add_vertex(u)
+            engine.graph.add_vertex(v)
+            if previous is not None and previous in label_set:
+                # Re-label: the old edge leaves views that no longer allow it.
+                if label not in label_set:
+                    engine.delete_edge(u, v)
+                continue
+            if label in label_set:
+                engine.insert_edge(u, v)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        label = self.labeled.remove_edge(u, v)
+        if label is None:
+            return
+        for label_set, engine in self._views.items():
+            if label in label_set:
+                engine.delete_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int, allowed: Iterable[Label]) -> bool:
+        """Is ``target`` reachable from ``source`` via allowed-label edges?"""
+        return self._engine_for(frozenset(allowed)).is_reachable(source, target)
+
+    def query_with_stats(
+        self, source: int, target: int, allowed: Iterable[Label]
+    ):
+        """LCR answer plus the underlying IFCA per-query statistics."""
+        return self._engine_for(frozenset(allowed)).query_with_stats(
+            source, target
+        )
+
+    def _engine_for(self, label_set: FrozenSet[Label]) -> IFCA:
+        engine = self._views.get(label_set)
+        if engine is None:
+            if len(self._views) >= self.max_views:
+                raise RuntimeError(
+                    f"view budget exhausted ({self.max_views}); evict some "
+                    "label sets or raise max_views"
+                )
+            engine = IFCA(self.labeled.restricted(label_set), self.params)
+            self._views[label_set] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # View management
+    # ------------------------------------------------------------------
+    @property
+    def active_view_count(self) -> int:
+        return len(self._views)
+
+    def active_views(self) -> List[FrozenSet[Label]]:
+        return list(self._views)
+
+    def evict(self, allowed: Iterable[Label]) -> bool:
+        """Drop the cached view for one label set; returns whether it existed."""
+        return self._views.pop(frozenset(allowed), None) is not None
+
+    def evict_all(self) -> None:
+        self._views.clear()

@@ -1,0 +1,174 @@
+"""Per-query search state: direction states and the reduced-graph overlay.
+
+Community contraction never mutates the base graph. Instead, each query
+carries an overlay (the paper's "virtual updates", Sec. V-C): a ``find``
+map sending contracted vertices to their super-vertex, plus explicit
+adjacency for the two super-vertices. Every adjacency scan maps raw
+neighbor ids through ``find`` on access.
+
+Super-vertex ids are the sentinels ``SUPER_FORWARD = -1`` and
+``SUPER_REVERSE = -2``; base-graph vertex ids must therefore be
+non-negative wherever IFCA is used (checked at query time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.params import PUSH_FORWARD, ResolvedParams
+from repro.graph.digraph import DynamicDiGraph
+
+SUPER_FORWARD = -1
+SUPER_REVERSE = -2
+
+
+class DirectionState:
+    """The state of one search direction (forward from ``s`` or reverse
+    from ``t``): residues, visited/explored sets, the super-vertex, and the
+    ``intEdges`` estimate used by the cost model.
+
+    A ``__slots__`` class rather than a dataclass: two of these are built
+    per query, and ``super_sentinel`` is read inside the hot loops.
+    """
+
+    __slots__ = (
+        "forward",
+        "residue",
+        "visited",
+        "explored",
+        "int_edges",
+        "super_id",
+        "super_adj",
+        "merged",
+        "contractions",
+        "super_sentinel",
+    )
+
+    def __init__(self, forward: bool) -> None:
+        self.forward = forward
+        self.residue: Dict[int, float] = {}
+        self.visited: Set[int] = set()
+        self.explored: Set[int] = set()
+        self.int_edges = 0
+        self.super_id = 0  # 0 = not created yet (never a real super id)
+        self.super_adj: List[int] = []
+        self.merged: Set[int] = set()
+        self.contractions = 0
+        self.super_sentinel = SUPER_FORWARD if forward else SUPER_REVERSE
+
+    @property
+    def has_super(self) -> bool:
+        return self.super_id != 0
+
+
+class SearchContext:
+    """Everything one IFCA query needs: both direction states, the shared
+    ``find`` overlay, and the running reduced-graph size counters."""
+
+    __slots__ = (
+        "graph",
+        "params",
+        "source",
+        "target",
+        "fwd",
+        "rev",
+        "find",
+        "m_reduced",
+        "n_reduced",
+        "epsilon_cur",
+    )
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        params: ResolvedParams,
+        source: int,
+        target: int,
+    ) -> None:
+        self.graph = graph
+        self.params = params
+        self.source = source
+        self.target = target
+        self.fwd = DirectionState(forward=True)
+        self.rev = DirectionState(forward=False)
+        self.fwd.residue[source] = 1.0
+        self.fwd.visited.add(source)
+        self.rev.residue[target] = 1.0
+        self.rev.visited.add(target)
+        self.find: Dict[int, int] = {}
+        self.m_reduced = graph.num_edges
+        self.n_reduced = graph.num_vertices
+        self.epsilon_cur = params.epsilon_init
+
+    # ------------------------------------------------------------------
+    # Overlay-aware adjacency
+    # ------------------------------------------------------------------
+    def resolve(self, v: int) -> int:
+        """Map a raw vertex id through the contraction overlay."""
+        return self.find.get(v, v)
+
+    def neighbors(self, state: DirectionState, v: int) -> List[int]:
+        """Raw (unmapped) adjacency of ``v`` in ``state``'s direction.
+
+        Callers must map each entry through :meth:`resolve`.
+        """
+        if state.has_super and v == state.super_id:
+            return state.super_adj
+        return self.graph.neighbors(v, state.forward)
+
+    def degree(self, state: DirectionState, v: int) -> int:
+        """The reduced-graph directional degree used by ``f_norm``/``f_dist``."""
+        if state.has_super and v == state.super_id:
+            return len(state.super_adj)
+        if v < 0:
+            # The *other* side's super-vertex: its adjacency in this
+            # direction is never enumerated (visiting it is an immediate
+            # meet), but distribution weights may ask for a degree.
+            other = self.rev if state.forward else self.fwd
+            return max(len(other.super_adj), 1)
+        return (
+            self.graph.out_degree(v) if state.forward else self.graph.in_degree(v)
+        )
+
+    def other(self, state: DirectionState) -> DirectionState:
+        return self.rev if state.forward else self.fwd
+
+    # ------------------------------------------------------------------
+    # Push weighting (Sec. III-A)
+    # ------------------------------------------------------------------
+    def f_norm(self, state: DirectionState, v: int) -> float:
+        """Threshold normalization: ``d(u)`` for forward push, 1 otherwise."""
+        if self.params.push_style == PUSH_FORWARD:
+            return float(self.degree(state, v))
+        return 1.0
+
+    def f_dist(self, state: DirectionState, sender: int, receiver: int) -> float:
+        """Residue distribution divisor for edge ``sender -> receiver``
+        (in the search direction's orientation)."""
+        if self.params.push_style == PUSH_FORWARD:
+            return float(self.degree(state, sender))
+        # Backward push weights by the receiver's degree against the edge
+        # direction: its in-degree when scanning out-edges and vice versa.
+        return float(self._opposite_degree(state, receiver))
+
+    def _opposite_degree(self, state: DirectionState, v: int) -> int:
+        if v < 0:
+            # Super-vertices: fall back to their stored adjacency size.
+            side = self.fwd if v == SUPER_FORWARD else self.rev
+            return max(len(side.super_adj), 1)
+        d = self.graph.in_degree(v) if state.forward else self.graph.out_degree(v)
+        return max(d, 1)
+
+    # ------------------------------------------------------------------
+    # Frontier for the BiBFS hand-off (Alg. 2 lines 18-19)
+    # ------------------------------------------------------------------
+    def frontier(self, state: DirectionState) -> List[int]:
+        """Visited-but-unexplored vertices: exactly the vertices whose
+        adjacency has not been fully enumerated yet.
+
+        The paper defines the hand-off frontier as the positive-residue
+        vertices; with contraction retaining frontier residues the two
+        definitions coincide, and this one is robust to floating-point
+        underflow (see DESIGN.md).
+        """
+        return [v for v in state.visited if v not in state.explored]

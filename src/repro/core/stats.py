@@ -1,0 +1,61 @@
+"""Per-query statistics.
+
+Edge accesses are "the main factor influencing the query processing time"
+of index-free methods (Sec. IV, Fig. 1), so every search component counts
+them; benchmarks report both wall time and these counters to separate
+algorithmic work from interpreter constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated over one reachability query."""
+
+    #: Edge accesses during probability-guided search (both directions).
+    guided_edge_accesses: int = 0
+    #: Edge accesses during the BiBFS phase (0 when no switch happened).
+    bibfs_edge_accesses: int = 0
+    #: Individual push operations (vertex expansions) in guided search.
+    push_operations: int = 0
+    #: Community contractions performed, forward + reverse.
+    contractions_forward: int = 0
+    contractions_reverse: int = 0
+    #: Main-loop rounds executed (Alg. 2 while iterations).
+    rounds: int = 0
+    #: Whether the cost model (or the forced override) switched to BiBFS.
+    switched_to_bibfs: bool = False
+    #: Which component produced the final answer:
+    #: "trivial" | "guided" | "contraction" | "exhausted" | "bibfs".
+    terminated_by: str = ""
+    #: The query answer, once known.
+    result: Optional[bool] = None
+    #: Vertices merged into the two super-vertices.
+    merged_forward: int = 0
+    merged_reverse: int = 0
+
+    @property
+    def edge_accesses(self) -> int:
+        """Total edge accesses across both phases (the paper's cost unit)."""
+        return self.guided_edge_accesses + self.bibfs_edge_accesses
+
+    @property
+    def contractions(self) -> int:
+        return self.contractions_forward + self.contractions_reverse
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another query's counters into this one (for averages)."""
+        self.guided_edge_accesses += other.guided_edge_accesses
+        self.bibfs_edge_accesses += other.bibfs_edge_accesses
+        self.push_operations += other.push_operations
+        self.contractions_forward += other.contractions_forward
+        self.contractions_reverse += other.contractions_reverse
+        self.rounds += other.rounds
+        self.merged_forward += other.merged_forward
+        self.merged_reverse += other.merged_reverse
+        if other.switched_to_bibfs:
+            self.switched_to_bibfs = True

@@ -1,0 +1,33 @@
+"""Dataset substrate: generators, the motivating example, and the registry
+of scaled-down analogs of the paper's twelve real datasets.
+
+The paper's real graphs (KONECT/SNAP) are unavailable offline and far
+beyond pure-Python scale; per DESIGN.md every experiment instead runs on a
+synthetic analog that reproduces the *category-defining* property (strong
+vs. absent community structure, insert/delete flavour) at laptop scale.
+"""
+
+from repro.datasets.sbm import sbm_graph, two_block_sbm
+from repro.datasets.scale_free import (
+    erdos_renyi_graph,
+    preferential_attachment_graph,
+    rmat_graph,
+    star_heavy_graph,
+)
+from repro.datasets.highschool import highschool_graph
+from repro.datasets.temporal import temporal_stream_for_graph
+from repro.datasets.registry import DatasetAnalog, REGISTRY, load_analog
+
+__all__ = [
+    "sbm_graph",
+    "two_block_sbm",
+    "erdos_renyi_graph",
+    "preferential_attachment_graph",
+    "star_heavy_graph",
+    "rmat_graph",
+    "highschool_graph",
+    "temporal_stream_for_graph",
+    "DatasetAnalog",
+    "REGISTRY",
+    "load_analog",
+]

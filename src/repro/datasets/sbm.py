@@ -1,0 +1,123 @@
+"""Stochastic block model generators (Holland et al., 1983).
+
+The paper's scalability study (Sec. VI-D, Fig. 10) uses two-block SBMs:
+equal-size blocks, intra-block edge probability ten times the inter-block
+probability, average degree controlled through the probabilities. These
+generators reproduce that setup for directed graphs.
+
+Sampling is O(expected edges), not O(n^2): within each block pair the
+geometric-skip method draws the gaps between successive present edges.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.graph.digraph import DynamicDiGraph
+
+
+def _sample_pair_edges(
+    rng: random.Random,
+    sources: Sequence[int],
+    targets: Sequence[int],
+    probability: float,
+    graph: DynamicDiGraph,
+) -> None:
+    """Add each (s, t) pair independently with ``probability`` via
+    geometric skips over the flattened pair index space."""
+    if probability <= 0:
+        return
+    n_pairs = len(sources) * len(targets)
+    if probability >= 1:
+        for s in sources:
+            for t in targets:
+                if s != t:
+                    graph.add_edge(s, t)
+        return
+    log_q = math.log1p(-probability)
+    index = -1
+    width = len(targets)
+    while True:
+        # Geometric gap to the next present pair.
+        gap = int(math.log(1.0 - rng.random()) / log_q) + 1
+        index += gap
+        if index >= n_pairs:
+            return
+        s = sources[index // width]
+        t = targets[index % width]
+        if s != t:
+            graph.add_edge(s, t)
+
+
+def sbm_graph(
+    block_sizes: Sequence[int],
+    edge_probabilities: Sequence[Sequence[float]],
+    seed: Optional[int] = None,
+) -> DynamicDiGraph:
+    """A directed SBM with arbitrary blocks.
+
+    ``edge_probabilities[i][j]`` is the probability of a directed edge from
+    a block-``i`` vertex to a block-``j`` vertex. Self-loops are excluded.
+    """
+    if len(edge_probabilities) != len(block_sizes) or any(
+        len(row) != len(block_sizes) for row in edge_probabilities
+    ):
+        raise ValueError("edge_probabilities must be square over the blocks")
+    rng = random.Random(seed)
+    blocks: List[List[int]] = []
+    next_id = 0
+    for size in block_sizes:
+        if size < 0:
+            raise ValueError("block sizes must be non-negative")
+        blocks.append(list(range(next_id, next_id + size)))
+        next_id += size
+    graph = DynamicDiGraph(vertices=range(next_id))
+    for i, sources in enumerate(blocks):
+        for j, targets in enumerate(blocks):
+            _sample_pair_edges(rng, sources, targets, edge_probabilities[i][j], graph)
+    return graph
+
+
+def two_block_sbm(
+    block_size: int,
+    average_degree: float,
+    intra_inter_ratio: float = 10.0,
+    seed: Optional[int] = None,
+) -> DynamicDiGraph:
+    """The paper's Fig. 10 configuration: two equal blocks, intra-block
+    probability ``intra_inter_ratio`` times the inter-block one, and the
+    probabilities scaled so the expected average (out-)degree matches
+    ``average_degree``.
+    """
+    if block_size <= 1:
+        raise ValueError("block_size must be > 1")
+    if average_degree <= 0:
+        raise ValueError("average_degree must be positive")
+    # Expected out-degree of a vertex: p_intra*(B-1) + p_inter*B with
+    # p_intra = ratio * p_inter and B the block size.
+    b = block_size
+    p_inter = average_degree / (intra_inter_ratio * (b - 1) + b)
+    p_intra = intra_inter_ratio * p_inter
+    if p_intra > 1.0:
+        raise ValueError("average_degree too large for this block size")
+    probabilities = [[p_intra, p_inter], [p_inter, p_intra]]
+    return sbm_graph([b, b], probabilities, seed=seed)
+
+
+def planted_partition_graph(
+    num_blocks: int,
+    block_size: int,
+    p_intra: float,
+    p_inter: float,
+    seed: Optional[int] = None,
+) -> DynamicDiGraph:
+    """A k-block planted partition: handy for community-rich analogs."""
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    probabilities = [
+        [p_intra if i == j else p_inter for j in range(num_blocks)]
+        for i in range(num_blocks)
+    ]
+    return sbm_graph([block_size] * num_blocks, probabilities, seed=seed)

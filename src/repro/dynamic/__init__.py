@@ -1,0 +1,14 @@
+"""Dynamic-graph workload substrate: event streams, expiry, replay drivers."""
+
+from repro.dynamic.events import EdgeEvent, TemporalEdgeStream
+from repro.dynamic.expiry import apply_expiry_rule
+from repro.dynamic.driver import DynamicWorkload, ReplayResult, replay
+
+__all__ = [
+    "EdgeEvent",
+    "TemporalEdgeStream",
+    "apply_expiry_rule",
+    "DynamicWorkload",
+    "ReplayResult",
+    "replay",
+]

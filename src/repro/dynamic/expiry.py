@@ -1,0 +1,67 @@
+"""The paper's T/10 edge expiry rule.
+
+For datasets without explicit deletions the paper synthesizes them:
+"we suppose that each edge expires T/10 after its insertion, where T is the
+span between the minimum and maximum timestamps" (Sec. VI). This module
+turns an insert-only stream into an insert+delete stream under that rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Tuple
+
+from repro.dynamic.events import EdgeEvent, TemporalEdgeStream
+
+Edge = Tuple[int, int]
+
+
+def apply_expiry_rule(
+    events: Iterable[EdgeEvent], fraction: float = 0.1
+) -> TemporalEdgeStream:
+    """Add a deletion ``fraction * T`` after each insertion.
+
+    Expiry deletions are interleaved at their correct position in time, so
+    an edge re-inserted after its expiry gets a fresh lifetime. Explicit
+    deletions already present in the input disarm the pending expiry for
+    that edge. Expiries falling beyond the maximum input timestamp are
+    dropped (a finite trace never replays them).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted(events, key=lambda e: e.time)
+    if not ordered:
+        return TemporalEdgeStream([])
+    t_min = ordered[0].time
+    t_max = ordered[-1].time
+    lifetime = (t_max - t_min) * fraction
+    if lifetime <= 0:
+        # Degenerate span: a zero lifetime would delete every edge the
+        # instant it appears, which no finite trace intends.
+        return TemporalEdgeStream(ordered)
+    out: List[EdgeEvent] = []
+    # Min-heap of (expiry_time, edge); armed_at[edge] invalidates stale
+    # entries when an edge is re-inserted or explicitly deleted.
+    heap: List[Tuple[float, float, Edge]] = []
+    armed_at: Dict[Edge, float] = {}
+
+    def drain(until: float) -> None:
+        while heap and heap[0][0] <= until:
+            expiry, inserted_at, edge = heapq.heappop(heap)
+            if armed_at.get(edge) != inserted_at:
+                continue  # disarmed by a later insert or explicit delete
+            del armed_at[edge]
+            out.append(
+                EdgeEvent(time=expiry, source=edge[0], target=edge[1], insert=False)
+            )
+
+    for event in ordered:
+        drain(event.time)
+        out.append(event)
+        if event.insert:
+            armed_at[event.edge] = event.time
+            heapq.heappush(heap, (event.time + lifetime, event.time, event.edge))
+        else:
+            armed_at.pop(event.edge, None)
+    drain(t_max)
+    return TemporalEdgeStream(out)

@@ -1,0 +1,77 @@
+"""Accuracy landscape of the approximate methods (extends Fig. 7's story).
+
+The paper tunes its approximate competitors to fixed accuracy targets
+(Base to 90%/100%, ARROW to 95%) and then compares times. This runner maps
+the full accuracy-vs-time curve for both: each knob setting (``epsilon``
+for Alg. 1, ``c_numWalks`` for ARROW) yields one (accuracy, avg time)
+point, separating overall accuracy into strict precision and recall so the
+one-sidedness of each method is visible (push never false-positives;
+ARROW never false-positives either — both only miss).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.baselines.arrow import ArrowMethod
+from repro.core.baseline import push_reachability
+from repro.experiments.runner import time_queries
+from repro.graph.digraph import DynamicDiGraph
+from repro.workloads.precision import accuracy, precision_recall
+from repro.workloads.queries import QueryBatch, generate_queries, label_queries
+
+
+def run_base_accuracy_curve(
+    graph: DynamicDiGraph,
+    epsilons: Sequence[float],
+    num_queries: int = 80,
+    alpha: float = 0.1,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """(accuracy, precision, recall, avg time) per epsilon for Alg. 1."""
+    batch = label_queries(graph, generate_queries(graph, num_queries, seed=seed))
+    rows = []
+    for epsilon in epsilons:
+        avg, answers = time_queries(
+            lambda s, t: push_reachability(graph, s, t, alpha, epsilon),
+            batch.queries,
+        )
+        rows.append(_row("Base", {"epsilon": epsilon}, answers, batch, avg))
+    return rows
+
+
+def run_arrow_accuracy_curve(
+    graph: DynamicDiGraph,
+    c_num_walks_values: Sequence[float],
+    num_queries: int = 80,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """(accuracy, precision, recall, avg time) per c_numWalks for ARROW."""
+    batch = label_queries(graph, generate_queries(graph, num_queries, seed=seed))
+    rows = []
+    for c in c_num_walks_values:
+        method = ArrowMethod(graph, c_num_walks=c, seed=seed)
+        avg, answers = time_queries(method.query, batch.queries)
+        rows.append(_row("ARROW", {"c_num_walks": c}, answers, batch, avg))
+    return rows
+
+
+def _row(
+    method: str,
+    knob: Dict[str, Any],
+    answers: Sequence[bool],
+    batch: QueryBatch,
+    avg_seconds: float,
+) -> Dict[str, Any]:
+    strict_precision, recall = precision_recall(answers, batch.ground_truth)
+    row: Dict[str, Any] = {"method": method}
+    row.update(knob)
+    row.update(
+        {
+            "accuracy": accuracy(answers, batch.ground_truth),
+            "precision": strict_precision,
+            "recall": recall,
+            "avg_query_time_ms": avg_seconds * 1000.0,
+        }
+    )
+    return row

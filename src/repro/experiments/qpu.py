@@ -1,0 +1,72 @@
+"""Query-per-update sweeps — Figs. 8 and 9 (Sec. VI-C3).
+
+"We plot their total time of performing an update and a certain number of
+queries varying the query-per-update ratio (QpU)": for each method, the
+line ``total(QpU) = avg_update_time + QpU * avg_query_time``. The paper's
+finding: TOL/IP's lines start so high (update cost) that IFCA's line does
+not intersect them below QpU = 1000 on nearly all datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.dynamic.driver import DynamicWorkload, replay
+from repro.experiments.comparison import DEFAULT_METHODS, MethodFactory
+
+#: The paper sweeps QpU up to 1000.
+DEFAULT_QPU_VALUES = (1, 3, 10, 30, 100, 300, 1000)
+
+INDEX_BASED = ("TOL", "IP", "DAGGER")
+INDEX_FREE = ("IFCA", "BiBFS", "ARROW")
+
+
+def run_qpu_sweep(
+    workload: DynamicWorkload,
+    method_names: Sequence[str],
+    qpu_values: Iterable[float] = DEFAULT_QPU_VALUES,
+    methods: Optional[Dict[str, MethodFactory]] = None,
+    dataset: str = "",
+) -> List[Dict[str, Any]]:
+    """Fig. 8/9 rows: per (method, QpU), the projected total time (ms).
+
+    One replay measures each method's average update and query times; the
+    QpU lines are then exact linear projections, as in the paper.
+    """
+    if methods is None:
+        methods = DEFAULT_METHODS
+    rows: List[Dict[str, Any]] = []
+    for name in method_names:
+        result = replay(methods[name], workload, method_name=name)
+        for qpu in qpu_values:
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": name,
+                    "qpu": qpu,
+                    "total_ms": result.total_time(qpu) * 1000.0,
+                    "avg_update_ms": result.avg_update_time * 1000.0,
+                    "avg_query_ms": result.avg_query_time * 1000.0,
+                }
+            )
+    return rows
+
+
+def crossover_qpu(
+    rows: Sequence[Dict[str, Any]], method_a: str, method_b: str
+) -> Optional[float]:
+    """The QpU where ``method_a``'s line crosses ``method_b``'s, if any.
+
+    Solves ``u_a + q * t_a = u_b + q * t_b`` from the measured averages;
+    returns ``None`` when the lines do not cross at a positive QpU.
+    """
+    a = next((r for r in rows if r["method"] == method_a), None)
+    b = next((r for r in rows if r["method"] == method_b), None)
+    if a is None or b is None:
+        return None
+    du = b["avg_update_ms"] - a["avg_update_ms"]
+    dt = a["avg_query_ms"] - b["avg_query_ms"]
+    if dt <= 0:
+        return None  # a's queries are not slower: lines never cross
+    q = du / dt
+    return q if q > 0 else None

@@ -1,0 +1,39 @@
+"""Experiment result records and JSON persistence.
+
+EXPERIMENTS.md is assembled from these records: every benchmark run can
+dump its rows to ``results/*.json`` for later paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's identity plus its result rows."""
+
+    experiment_id: str  # e.g. "fig06", "tab03"
+    description: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=False)
+
+
+def save_records(records: List[ExperimentRecord], path: PathLike) -> None:
+    """Write a list of records as one JSON document."""
+    payload = [asdict(r) for r in records]
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_records(path: PathLike) -> List[ExperimentRecord]:
+    """Read records previously written by :func:`save_records`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return [ExperimentRecord(**item) for item in payload]

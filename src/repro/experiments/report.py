@@ -1,0 +1,69 @@
+"""Render saved experiment records as a consolidated report.
+
+Benchmarks persist their rows as ``results/<experiment>.json``;
+:func:`render_report` re-reads them and produces the text report that
+EXPERIMENTS.md is based on. Exposed on the CLI as ``python -m repro
+report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.experiments.records import load_records
+from repro.experiments.tables import format_table
+
+PathLike = Union[str, Path]
+
+
+def render_report(results_dir: PathLike, markdown: bool = False) -> str:
+    """One table per record file, in experiment-id order.
+
+    ``markdown=True`` emits GitHub-flavoured pipe tables with a heading per
+    experiment (handy for pasting into EXPERIMENTS.md-style documents).
+    """
+    directory = Path(results_dir)
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        return f"no experiment records under {directory}"
+    sections: List[str] = []
+    for path in paths:
+        try:
+            records = load_records(path)
+        except (ValueError, TypeError) as exc:
+            sections.append(f"[{path.name}] unreadable: {exc}")
+            continue
+        for record in records:
+            if markdown:
+                sections.append(
+                    f"## {record.experiment_id} — {record.description}\n\n"
+                    + _markdown_table(record.rows)
+                )
+            else:
+                sections.append(
+                    format_table(
+                        record.rows,
+                        title=f"[{record.experiment_id}] {record.description}",
+                    )
+                )
+    return "\n\n".join(sections)
+
+
+def _markdown_table(rows: List[dict]) -> str:
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""One-command reproduction of the paper's full evaluation.
+
+``python -m repro reproduce [--out results] [--quick]`` runs every
+experiment runner directly (no pytest needed), writes one JSON record per
+experiment, and prints the paper-style tables as it goes — the programmatic
+twin of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.datasets.registry import DATASET_ORDER, load_analog
+from repro.dynamic.driver import DynamicWorkload
+from repro.dynamic.events import TemporalEdgeStream, materialize
+from repro.experiments.comparison import derive_table3, run_comparison_on_analog
+from repro.experiments.figures import run_motivating_example
+from repro.experiments.lambda_calibration import calibrate_lambda
+from repro.experiments.optimizations import run_optimization_ladder
+from repro.experiments.oracle import run_cost_model_vs_oracle
+from repro.experiments.parameter_study import (
+    run_alpha_sweep,
+    run_epsilon_pre_sweep,
+    run_init_step_grid,
+    run_push_turning_point,
+)
+from repro.experiments.qpu import INDEX_BASED, INDEX_FREE, run_qpu_sweep
+from repro.experiments.records import ExperimentRecord, save_records
+from repro.experiments.scalability import run_scalability
+from repro.experiments.tables import format_table
+
+PathLike = Union[str, Path]
+Rows = List[Dict[str, Any]]
+
+#: Datasets used by the sweeps (one per category plus the Fig. 1 pair).
+PARAM_DATASETS = ("EN", "FL", "WT")
+COMPARISON_DATASETS = ("EN", "FL", "WT", "WG")
+
+
+def _snapshot(code: str, seed: int = 0):
+    _, initial, stream = load_analog(code, seed=seed)
+    return materialize(initial, stream)
+
+
+def _workload(code: str, max_updates: int, seed: int = 0) -> DynamicWorkload:
+    _, initial, stream = load_analog(code, seed=seed)
+    return DynamicWorkload(
+        initial=initial,
+        stream=TemporalEdgeStream(stream.events[:max_updates]),
+        num_batches=4,
+        queries_per_batch=25,
+        seed=seed,
+    )
+
+
+def run_all(
+    out_dir: PathLike = "results",
+    quick: bool = False,
+    echo: Optional[Callable[[str], None]] = print,
+) -> List[ExperimentRecord]:
+    """Run every experiment; returns (and persists) the records.
+
+    ``quick`` halves workload sizes for smoke runs. ``echo=None`` silences
+    the progress tables.
+    """
+    out = Path(out_dir)
+    out.mkdir(exist_ok=True)
+    nq = 30 if quick else 60
+    updates = 120 if quick else 250
+    records: List[ExperimentRecord] = []
+
+    def emit(experiment_id: str, description: str, rows: Rows) -> None:
+        record = ExperimentRecord(
+            experiment_id=experiment_id, description=description, rows=rows
+        )
+        records.append(record)
+        save_records([record], out / f"{experiment_id}.json")
+        if echo is not None:
+            echo(format_table(rows, title=f"[{experiment_id}] {description}"))
+            echo("")
+
+    # Fig. 1 -------------------------------------------------------------
+    emit("fig01", "motivating example (edge accesses)", run_motivating_example())
+
+    # Parameter studies (Figs. 2-5) --------------------------------------
+    for code in PARAM_DATASETS:
+        graph = _snapshot(code)
+        emit(
+            f"fig02_{code}",
+            f"query time vs epsilon_pre ({code})",
+            run_epsilon_pre_sweep(
+                graph, [1e-1, 1e-2, 1e-3, 1e-4], num_queries=nq
+            ),
+        )
+        emit(
+            f"fig03_{code}",
+            f"push time vs 1/epsilon ({code})",
+            run_push_turning_point(
+                graph, [10, 100, 1000, 10000], num_sources=nq
+            ),
+        )
+        emit(
+            f"fig04_{code}",
+            f"query time vs alpha ({code})",
+            run_alpha_sweep(graph, [0.05, 0.1, 0.3, 0.5, 0.9], num_queries=nq),
+        )
+    emit(
+        "fig05_EN",
+        "query time vs epsilon_init x step (EN)",
+        run_init_step_grid(
+            _snapshot("EN"), [1.0, 10.0, 100.0, 1000.0], [10.0, 100.0, 1000.0],
+            num_queries=nq,
+        ),
+    )
+
+    # Fig. 6 + Tab. III ---------------------------------------------------
+    fig6_rows: Rows = []
+    for code in COMPARISON_DATASETS:
+        rows = run_comparison_on_analog(
+            code, num_batches=4, queries_per_batch=25, max_updates=updates
+        )
+        fig6_rows.extend(rows)
+        emit(f"fig06_{code}", f"method comparison ({code})", rows)
+    emit("tab03", "IFCA vs BiBFS speedups", derive_table3(fig6_rows))
+
+    # Fig. 7 + Tab. IV ----------------------------------------------------
+    for code in PARAM_DATASETS:
+        graph = _snapshot(code)
+        emit(
+            f"fig07_{code}",
+            f"optimization ladder ({code})",
+            run_optimization_ladder(graph, num_queries=max(nq // 2, 20)),
+        )
+        emit(
+            f"tab04_{code}",
+            f"cost model vs oracle ({code})",
+            [run_cost_model_vs_oracle(graph, num_queries=max(nq // 2, 20))],
+        )
+
+    # Figs. 8-9 -----------------------------------------------------------
+    for code in ("EN", "WT"):
+        workload = _workload(code, max_updates=updates)
+        emit(
+            f"fig08_{code}",
+            f"QpU vs index-based methods ({code})",
+            run_qpu_sweep(workload, ["IFCA", *INDEX_BASED], dataset=code),
+        )
+        emit(
+            f"fig09_{code}",
+            f"QpU vs index-free methods ({code})",
+            run_qpu_sweep(workload, list(INDEX_FREE), dataset=code),
+        )
+
+    # Fig. 10 ---------------------------------------------------------------
+    emit(
+        "fig10",
+        "scalability on two-block SBMs",
+        run_scalability(
+            [100, 300] if quick else [100, 300, 1000],
+            [2.5, 5.0, 10.0],
+            num_queries=max(nq // 2, 20),
+        ),
+    )
+
+    # Calibration record ----------------------------------------------------
+    emit(
+        "lambda",
+        "measured guided:BiBFS per-op time ratio on this machine",
+        [{"lambda": calibrate_lambda(repetitions=2 if quick else 5)}],
+    )
+    return records

@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Sequence, Tuple
+
+Query = Tuple[int, int]
+
+
+def time_queries(
+    answer: Callable[[int, int], bool],
+    queries: Sequence[Query],
+) -> Tuple[float, List[bool]]:
+    """Run ``answer`` over all queries; returns (avg seconds, answers)."""
+    if not queries:
+        return 0.0, []
+    answers: List[bool] = []
+    start = time.perf_counter()
+    for s, t in queries:
+        answers.append(answer(s, t))
+    elapsed = time.perf_counter() - start
+    return elapsed / len(queries), answers
+
+
+def time_queries_ms(
+    answer: Callable[[int, int], bool],
+    queries: Sequence[Query],
+) -> float:
+    """Average per-query time in milliseconds (the paper's unit)."""
+    avg, _ = time_queries(answer, queries)
+    return avg * 1000.0

@@ -1,0 +1,276 @@
+"""Incremental condensation (DAG) maintenance, in the style of DAGGER.
+
+The index-based competitors (TOL, IP, DAGGER) are defined over the DAG of
+strongly connected components. On a dynamic graph the condensation itself
+must be maintained: an edge insertion may merge a chain of SCCs into one,
+and an edge deletion inside an SCC may split it apart (Yildirim et al.,
+DAGGER, 2013). :class:`DynamicDAG` keeps the original graph, the
+vertex-to-component mapping, the condensation DAG, and inter-component edge
+multiplicities consistent under both operations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.scc import strongly_connected_components
+
+
+class DynamicDAG:
+    """A directed graph together with its incrementally maintained condensation.
+
+    Component ids are allocated from a private counter and never reused, so
+    downstream indexes can detect staleness by id. Callbacks ``on_merge`` /
+    ``on_split`` let an index (e.g. DAGGER's interval labels) react to
+    condensation changes.
+    """
+
+    def __init__(self, graph: Optional[DynamicDiGraph] = None) -> None:
+        self.graph = graph if graph is not None else DynamicDiGraph()
+        self.dag = DynamicDiGraph()
+        self.scc_of: Dict[int, int] = {}
+        self.members: Dict[int, Set[int]] = {}
+        self._edge_multiplicity: Dict[Tuple[int, int], int] = {}
+        self._next_cid = 0
+        self.merge_count = 0
+        self.split_count = 0
+        self.on_merge: Optional[Callable[[Set[int], int], None]] = None
+        self.on_split: Optional[Callable[[int, List[int]], None]] = None
+        if graph is not None:
+            self._build_from_scratch()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _fresh_cid(self) -> int:
+        cid = self._next_cid
+        self._next_cid += 1
+        return cid
+
+    def _build_from_scratch(self) -> None:
+        self.dag = DynamicDiGraph()
+        self.scc_of.clear()
+        self.members.clear()
+        self._edge_multiplicity.clear()
+        for comp in strongly_connected_components(self.graph):
+            cid = self._fresh_cid()
+            self.dag.add_vertex(cid)
+            self.members[cid] = set(comp)
+            for v in comp:
+                self.scc_of[v] = cid
+        for u, v in self.graph.edges():
+            cu, cv = self.scc_of[u], self.scc_of[v]
+            if cu != cv:
+                self._add_dag_edge(cu, cv)
+
+    def _add_dag_edge(self, cu: int, cv: int) -> None:
+        key = (cu, cv)
+        count = self._edge_multiplicity.get(key, 0)
+        self._edge_multiplicity[key] = count + 1
+        if count == 0:
+            self.dag.add_edge(cu, cv)
+
+    def _remove_dag_edge(self, cu: int, cv: int) -> None:
+        key = (cu, cv)
+        count = self._edge_multiplicity[key] - 1
+        if count == 0:
+            del self._edge_multiplicity[key]
+            self.dag.remove_edge(cu, cv)
+        else:
+            self._edge_multiplicity[key] = count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def component_of(self, v: int) -> int:
+        """The condensation vertex containing original vertex ``v``."""
+        return self.scc_of[v]
+
+    def same_component(self, u: int, v: int) -> bool:
+        return self.scc_of.get(u) == self.scc_of.get(v) and u in self.scc_of
+
+    def _dag_reaches(self, src: int, dst: int) -> bool:
+        if src == dst:
+            return True
+        visited = {src}
+        queue = deque([src])
+        while queue:
+            c = queue.popleft()
+            for w in self.dag.out_neighbors(c):
+                if w == dst:
+                    return True
+                if w not in visited:
+                    visited.add(w)
+                    queue.append(w)
+        return False
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        if v in self.scc_of:
+            return
+        self.graph.add_vertex(v)
+        cid = self._fresh_cid()
+        self.dag.add_vertex(cid)
+        self.members[cid] = {v}
+        self.scc_of[v] = cid
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert ``(u, v)``, merging SCCs if a cycle is created.
+
+        Returns ``True`` if the edge was new.
+        """
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if not self.graph.add_edge(u, v):
+            return False
+        cu, cv = self.scc_of[u], self.scc_of[v]
+        if cu == cv:
+            return True
+        if self._dag_reaches(cv, cu):
+            self._merge_cycle(cu, cv)
+        else:
+            self._add_dag_edge(cu, cv)
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete ``(u, v)``, splitting the containing SCC if it breaks apart."""
+        if not self.graph.remove_edge(u, v):
+            return False
+        cu, cv = self.scc_of[u], self.scc_of[v]
+        if cu != cv:
+            self._remove_dag_edge(cu, cv)
+        else:
+            self._maybe_split(cu)
+        return True
+
+    # ------------------------------------------------------------------
+    # Merge / split internals
+    # ------------------------------------------------------------------
+    def _merge_cycle(self, cu: int, cv: int) -> None:
+        """Merge every component on a ``cv -> ... -> cu`` DAG path (plus the
+        new back edge ``cu -> cv``) into one component."""
+        forward = self._dag_closure(cv, forward=True, stop_at=cu)
+        backward = self._dag_closure(cu, forward=False, restrict=forward)
+        to_merge = forward & backward  # contains both cu and cv
+        new_cid = self._fresh_cid()
+        self.dag.add_vertex(new_cid)
+        # Pass 1: collect the surviving edge multiplicities before touching
+        # the DAG. Edges internal to the merged set are popped (via their
+        # source side) and vanish; boundary edges are redirected to new_cid.
+        incident: Dict[Tuple[int, int], int] = {}
+        for cid in to_merge:
+            for w in self.dag.out_neighbors(cid):
+                mult = self._edge_multiplicity.pop((cid, w))
+                if w not in to_merge:
+                    key = (new_cid, w)
+                    incident[key] = incident.get(key, 0) + mult
+            for w in self.dag.in_neighbors(cid):
+                if w in to_merge:
+                    continue  # internal edge; popped from its source side
+                mult = self._edge_multiplicity.pop((w, cid))
+                key = (w, new_cid)
+                incident[key] = incident.get(key, 0) + mult
+        # Pass 2: rebuild membership and the DAG.
+        merged_members: Set[int] = set()
+        for cid in to_merge:
+            merged_members |= self.members.pop(cid)
+            self.dag.remove_vertex(cid)
+        for v in merged_members:
+            self.scc_of[v] = new_cid
+        self.members[new_cid] = merged_members
+        for (a, b), mult in incident.items():
+            self._edge_multiplicity[(a, b)] = mult
+            self.dag.add_edge(a, b)
+        self.merge_count += 1
+        if self.on_merge is not None:
+            self.on_merge(to_merge, new_cid)
+
+    def _dag_closure(
+        self,
+        start: int,
+        forward: bool,
+        stop_at: Optional[int] = None,
+        restrict: Optional[Set[int]] = None,
+    ) -> Set[int]:
+        """BFS closure over the DAG, optionally restricted to a vertex set."""
+        visited = {start}
+        queue = deque([start])
+        while queue:
+            c = queue.popleft()
+            if c == stop_at:
+                continue
+            for w in self.dag.neighbors(c, forward):
+                if restrict is not None and w not in restrict:
+                    continue
+                if w not in visited:
+                    visited.add(w)
+                    queue.append(w)
+        return visited
+
+    def _maybe_split(self, cid: int) -> None:
+        """Recompute the SCCs inside component ``cid`` after an internal
+        edge deletion, splitting it if it is no longer strongly connected."""
+        member_set = self.members[cid]
+        if len(member_set) == 1:
+            return
+        sub = self.graph.subgraph(member_set)
+        parts = strongly_connected_components(sub)
+        if len(parts) == 1:
+            return
+        # Drop the old component and its incident DAG edges.
+        for w in list(self.dag.out_neighbors(cid)):
+            del self._edge_multiplicity[(cid, w)]
+        for w in list(self.dag.in_neighbors(cid)):
+            del self._edge_multiplicity[(w, cid)]
+        self.dag.remove_vertex(cid)
+        del self.members[cid]
+        new_cids: List[int] = []
+        for comp in parts:
+            new_cid = self._fresh_cid()
+            new_cids.append(new_cid)
+            self.dag.add_vertex(new_cid)
+            self.members[new_cid] = set(comp)
+            for v in comp:
+                self.scc_of[v] = new_cid
+        # Re-derive every DAG edge incident to the split members from the
+        # original graph (both among the parts and to/from the outside).
+        for v in member_set:
+            for w in self.graph.out_neighbors(v):
+                a, b = self.scc_of[v], self.scc_of[w]
+                if a != b:
+                    self._add_dag_edge(a, b)
+            for w in self.graph.in_neighbors(v):
+                if w in member_set:
+                    continue  # counted above from the member side
+                a, b = self.scc_of[w], self.scc_of[v]
+                if a != b:
+                    self._add_dag_edge(a, b)
+        self.split_count += 1
+        if self.on_split is not None:
+            self.on_split(cid, new_cids)
+
+    # ------------------------------------------------------------------
+    # Consistency checking (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Raise ``AssertionError`` if the maintained condensation disagrees
+        with one recomputed from scratch."""
+        expected = strongly_connected_components(self.graph)
+        expected_sets = {frozenset(comp) for comp in expected}
+        actual_sets = {frozenset(mem) for mem in self.members.values()}
+        assert expected_sets == actual_sets, "SCC membership diverged"
+        expected_edges: Dict[Tuple[int, int], int] = {}
+        for u, v in self.graph.edges():
+            cu, cv = self.scc_of[u], self.scc_of[v]
+            if cu != cv:
+                expected_edges[(cu, cv)] = expected_edges.get((cu, cv), 0) + 1
+        assert expected_edges == self._edge_multiplicity, (
+            "DAG edge multiplicities diverged"
+        )
+        for (cu, cv) in expected_edges:
+            assert self.dag.has_edge(cu, cv)
+        assert self.dag.num_edges == len(expected_edges)

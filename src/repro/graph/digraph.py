@@ -1,0 +1,231 @@
+"""A dynamic directed graph with O(1) amortized edge updates.
+
+This is the substrate every algorithm in the package runs on. The design
+follows the paper's index-free philosophy: graph updates touch nothing but
+the adjacency lists (Sec. V-A, "When the graph is updated, only the
+adjacency lists are modified accordingly").
+
+Representation
+--------------
+Out- and in-adjacency are ``dict[int, list[int]]``. Edge deletion marks a
+tombstone by swap-removing from the list (order of neighbors is not
+guaranteed, which no algorithm here relies on). Parallel edges are rejected
+so that ``m`` always counts distinct edges, matching the paper's simple
+graph model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+class DynamicDiGraph:
+    """A mutable, simple, directed graph over integer vertex ids.
+
+    Vertices are created implicitly by :meth:`add_edge` / :meth:`add_vertex`.
+    Both adjacency directions are maintained so that reverse traversals
+    (backward push, reverse BFS) cost the same as forward ones.
+    """
+
+    __slots__ = ("_out", "_in", "_num_edges", "_edge_set")
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Tuple[int, int]]] = None,
+        vertices: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._out: Dict[int, List[int]] = {}
+        self._in: Dict[int, List[int]] = {}
+        self._edge_set: Set[Tuple[int, int]] = set()
+        self._num_edges = 0
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """The number of vertices currently in the graph (``n``)."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """The number of directed edges currently in the graph (``m``)."""
+        return self._num_edges
+
+    @property
+    def average_degree(self) -> float:
+        """``m / n``; 0.0 on the empty graph."""
+        n = self.num_vertices
+        return self._num_edges / n if n else 0.0
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertex ids."""
+        return iter(self._out)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all directed edges as ``(u, v)`` pairs."""
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                yield (u, v)
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._out
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._edge_set
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex; a no-op if it already exists."""
+        if v not in self._out:
+            self._out[v] = []
+            self._in[v] = []
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert the directed edge ``(u, v)``.
+
+        Returns ``True`` if the edge was inserted, ``False`` if it already
+        existed (parallel edges are not stored). Self-loops are allowed;
+        they never affect reachability answers.
+        """
+        if (u, v) in self._edge_set:
+            return False
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._edge_set.add((u, v))
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete the directed edge ``(u, v)``.
+
+        Returns ``True`` if it existed. Uses swap-removal, so adjacency
+        order is not stable across deletions.
+        """
+        if (u, v) not in self._edge_set:
+            return False
+        self._edge_set.discard((u, v))
+        self._swap_remove(self._out[u], v)
+        self._swap_remove(self._in[v], u)
+        self._num_edges -= 1
+        return True
+
+    def remove_vertex(self, v: int) -> bool:
+        """Delete a vertex and all its incident edges."""
+        if v not in self._out:
+            return False
+        for w in list(self._out[v]):
+            self.remove_edge(v, w)
+        for w in list(self._in[v]):
+            self.remove_edge(w, v)
+        del self._out[v]
+        del self._in[v]
+        return True
+
+    @staticmethod
+    def _swap_remove(lst: List[int], value: int) -> None:
+        idx = lst.index(value)
+        lst[idx] = lst[-1]
+        lst.pop()
+
+    # ------------------------------------------------------------------
+    # Adjacency access
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> List[int]:
+        """The list of out-neighbors of ``v`` (do not mutate)."""
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> List[int]:
+        """The list of in-neighbors of ``v`` (do not mutate)."""
+        return self._in[v]
+
+    def neighbors(self, v: int, forward: bool) -> List[int]:
+        """Directional adjacency: out-neighbors if ``forward`` else in-."""
+        return self._out[v] if forward else self._in[v]
+
+    def adjacency(self, forward: bool) -> Dict[int, List[int]]:
+        """The raw directional adjacency map.
+
+        Exposed for the hot loops (guided search, BiBFS), which bind it to
+        a local to avoid per-edge method-call overhead. Treat as read-only.
+        """
+        return self._out if forward else self._in
+
+    def out_degree(self, v: int) -> int:
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._in[v])
+
+    def degree(self, v: int) -> int:
+        """Total degree ``d_out(v) + d_in(v)`` (the paper's ``vol`` unit)."""
+        return len(self._out[v]) + len(self._in[v])
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DynamicDiGraph":
+        """An independent deep copy of the current snapshot."""
+        g = DynamicDiGraph()
+        for v in self._out:
+            g.add_vertex(v)
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        return g
+
+    def reversed(self) -> "DynamicDiGraph":
+        """A copy with every edge direction flipped."""
+        g = DynamicDiGraph()
+        for v in self._out:
+            g.add_vertex(v)
+        for u, v in self.edges():
+            g.add_edge(v, u)
+        return g
+
+    def subgraph(self, vertices: Iterable[int]) -> "DynamicDiGraph":
+        """The induced subgraph over ``vertices``."""
+        keep = set(vertices)
+        g = DynamicDiGraph()
+        for v in keep:
+            if v in self._out:
+                g.add_vertex(v)
+        for u in keep:
+            if u not in self._out:
+                continue
+            for v in self._out[u]:
+                if v in keep:
+                    g.add_edge(u, v)
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, v: int) -> bool:
+        return v in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __repr__(self) -> str:
+        return f"DynamicDiGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicDiGraph):
+            return NotImplemented
+        return (
+            set(self._out) == set(other._out)
+            and self._edge_set == other._edge_set
+        )
+
+    def __hash__(self) -> int:  # mutable container; identity hashing
+        return id(self)

@@ -1,0 +1,105 @@
+"""Strongly connected components and condensation.
+
+The index-based competitors (TOL, IP, DAGGER) all operate on the DAG
+obtained by condensing the graph's SCCs (Sec. II). Tarjan's algorithm is
+implemented iteratively so that deep graphs do not hit Python's recursion
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.digraph import DynamicDiGraph
+
+
+def strongly_connected_components(graph: DynamicDiGraph) -> List[List[int]]:
+    """Tarjan's SCC algorithm, iterative formulation.
+
+    Returns the components in reverse topological order of the condensation
+    (a property of Tarjan's algorithm that :func:`condensation` relies on).
+    """
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in list(graph.vertices()):
+        if root in index_of:
+            continue
+        # Each work item is (vertex, iterator position into its adjacency).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            v, pos = work[-1]
+            if pos == 0:
+                index_of[v] = counter
+                lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            recursed = False
+            nbrs = graph.out_neighbors(v)
+            while pos < len(nbrs):
+                w = nbrs[pos]
+                pos += 1
+                if w not in index_of:
+                    work[-1] = (v, pos)
+                    work.append((w, 0))
+                    recursed = True
+                    break
+                if on_stack.get(w, False):
+                    lowlink[v] = min(lowlink[v], index_of[w])
+            if recursed:
+                continue
+            work.pop()
+            if lowlink[v] == index_of[v]:
+                component: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == v:
+                        break
+                components.append(component)
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return components
+
+
+def condensation(
+    graph: DynamicDiGraph,
+) -> Tuple[DynamicDiGraph, Dict[int, int], List[List[int]]]:
+    """Condense SCCs into a DAG.
+
+    Returns ``(dag, scc_of, components)`` where ``scc_of[v]`` maps each
+    original vertex to its component id and ``components[cid]`` lists the
+    members of component ``cid``. The DAG is simple: parallel inter-SCC
+    edges collapse into one.
+    """
+    components = strongly_connected_components(graph)
+    scc_of: Dict[int, int] = {}
+    for cid, comp in enumerate(components):
+        for v in comp:
+            scc_of[v] = cid
+    dag = DynamicDiGraph()
+    for cid in range(len(components)):
+        dag.add_vertex(cid)
+    for u, v in graph.edges():
+        cu, cv = scc_of[u], scc_of[v]
+        if cu != cv:
+            dag.add_edge(cu, cv)
+    return dag, scc_of, components
+
+
+def is_dag(graph: DynamicDiGraph) -> bool:
+    """True iff every SCC is a singleton without a self-loop."""
+    for comp in strongly_connected_components(graph):
+        if len(comp) > 1:
+            return False
+        v = comp[0]
+        if graph.has_edge(v, v):
+            return False
+    return True

@@ -1,0 +1,34 @@
+"""Personalized PageRank computation techniques (Sec. III-A of the paper).
+
+Four families are implemented, matching the paper's taxonomy:
+
+* push-based: :func:`~repro.ppr.forward_push.forward_push` (Andersen–
+  Chung–Lang) and :func:`~repro.ppr.backward_push.backward_push`
+  (Andersen et al., contributions) — the engines behind IFCA's
+  probability-guided search;
+* Monte Carlo: :func:`~repro.ppr.monte_carlo.monte_carlo_ppr` — geometric-
+  length random walks, also the engine behind the ARROW competitor;
+* power iteration: :func:`~repro.ppr.power_iteration.power_iteration_ppr`
+  — the slow-but-trustworthy reference used as ground truth in tests;
+* hybrid: :func:`~repro.ppr.fora.fora_ppr` — FORA (Wang et al., KDD 2017),
+  forward push refined by residue-seeded random walks, the approximate-PPR
+  state of the art the paper cites as [46].
+"""
+
+from repro.ppr.common import PushConfig, PushState
+from repro.ppr.forward_push import forward_push
+from repro.ppr.backward_push import backward_push
+from repro.ppr.monte_carlo import monte_carlo_ppr, single_random_walk
+from repro.ppr.power_iteration import power_iteration_ppr
+from repro.ppr.fora import fora_ppr
+
+__all__ = [
+    "PushConfig",
+    "PushState",
+    "forward_push",
+    "backward_push",
+    "monte_carlo_ppr",
+    "single_random_walk",
+    "power_iteration_ppr",
+    "fora_ppr",
+]

@@ -1,0 +1,63 @@
+"""Monte Carlo PPR estimation (Fogaras et al., 2005).
+
+``ppr_s(t)`` equals the probability that a random walk from ``s`` whose
+length is geometric with parameter ``alpha`` stops at ``t`` (the paper's
+alternative PPR definition in Sec. III-A). We simulate walks and take the
+empirical stopping distribution.
+
+The same walk primitive powers the ARROW competitor
+(:mod:`repro.baselines.arrow`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.graph.digraph import DynamicDiGraph
+
+
+def single_random_walk(
+    graph: DynamicDiGraph,
+    source: int,
+    alpha: float,
+    rng: random.Random,
+    max_length: Optional[int] = None,
+) -> int:
+    """One alpha-terminated random walk; returns the stopping vertex.
+
+    The walk halts with probability ``alpha`` at each step, at dangling
+    vertices, or when ``max_length`` steps have been taken.
+    """
+    current = source
+    steps = 0
+    while True:
+        if rng.random() < alpha:
+            return current
+        nbrs = graph.out_neighbors(current)
+        if not nbrs:
+            return current
+        current = nbrs[rng.randrange(len(nbrs))]
+        steps += 1
+        if max_length is not None and steps >= max_length:
+            return current
+
+
+def monte_carlo_ppr(
+    graph: DynamicDiGraph,
+    source: int,
+    alpha: float = 0.1,
+    num_walks: int = 10_000,
+    seed: Optional[int] = None,
+) -> Dict[int, float]:
+    """Estimate ``ppr_source`` from ``num_walks`` independent walks."""
+    if source not in graph:
+        raise KeyError(f"source vertex {source} not in graph")
+    if num_walks <= 0:
+        raise ValueError("num_walks must be positive")
+    rng = random.Random(seed)
+    counts: Dict[int, int] = {}
+    for _ in range(num_walks):
+        stop = single_random_walk(graph, source, alpha, rng)
+        counts[stop] = counts.get(stop, 0) + 1
+    return {v: c / num_walks for v, c in counts.items()}

@@ -1,0 +1,19 @@
+"""Query workload generation and accuracy measurement."""
+
+from repro.workloads.queries import (
+    QueryBatch,
+    generate_queries,
+    label_queries,
+    split_by_sign,
+)
+from repro.workloads.precision import accuracy, confusion_counts, precision_recall
+
+__all__ = [
+    "QueryBatch",
+    "generate_queries",
+    "label_queries",
+    "split_by_sign",
+    "accuracy",
+    "confusion_counts",
+    "precision_recall",
+]

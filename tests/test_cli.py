@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(DynamicDiGraph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)]), path)
+    return str(path)
+
+
+class TestQuery:
+    def test_reachable_exit_zero(self, graph_file, capsys):
+        assert main(["query", graph_file, "0", "3"]) == 0
+        assert "reachable" in capsys.readouterr().out
+
+    def test_unreachable_exit_one(self, graph_file, capsys):
+        assert main(["query", graph_file, "3", "0"]) == 1
+        assert "not reachable" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "method", ["ifca", "bibfs", "tol", "ip", "dagger", "dbl"]
+    )
+    def test_every_exact_method(self, graph_file, method):
+        assert main(["query", graph_file, "0", "3", "--method", method]) == 0
+
+    def test_arrow_method_runs(self, graph_file):
+        # Approximate: only check it executes and returns a valid code.
+        assert main(["query", graph_file, "0", "3", "--method", "arrow"]) in (0, 1)
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, capsys):
+        assert main(["stats", graph_file, "--exact-clustering"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:" in out and "edges:" in out
+        assert "clustering" in out
+
+    def test_sampled_clustering_path(self, graph_file):
+        assert main(["stats", graph_file]) == 0
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["sbm", "pa", "star", "er"])
+    def test_families(self, family, tmp_path):
+        out = tmp_path / f"{family}.txt"
+        args = ["generate", family, str(out), "--n", "60", "--block-size", "30"]
+        assert main(args) == 0
+        graph = read_edge_list(out)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "pa", str(a), "--n", "50", "--seed", "4"])
+        main(["generate", "pa", str(b), "--n", "50", "--seed", "4"])
+        assert read_edge_list(a) == read_edge_list(b)
+
+
+class TestCompare:
+    def test_compare_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "EN",
+                "--max-updates",
+                "40",
+                "--batches",
+                "2",
+                "--queries-per-batch",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("IFCA", "BiBFS", "TOL", "IP", "DAGGER"):
+            assert name in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "NOPE"])
+
+
+class TestReproduce:
+    def test_quick_run_writes_records(self, tmp_path, capsys):
+        out = tmp_path / "res"
+        assert main(["reproduce", "--quick", "--quiet", "--out", str(out)]) == 0
+        written = list(out.glob("*.json"))
+        assert len(written) >= 20
+        # Every record is well-formed JSON with rows.
+        import json
+
+        for path in written[:5]:
+            payload = json.loads(path.read_text())
+            assert payload[0]["rows"]
+
+    def test_report_renders_reproduce_output(self, tmp_path, capsys):
+        out = tmp_path / "res"
+        main(["reproduce", "--quick", "--quiet", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["report", "--results-dir", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "[fig01]" in text and "[tab03]" in text
+
+
+class TestStatsRich:
+    def test_extended_stats_fields(self, graph_file, capsys):
+        main(["stats", graph_file, "--exact-clustering"])
+        out = capsys.readouterr().out
+        assert "SCCs" in out
+        assert "reachable pairs" in out
+        assert "degree tail exponent" in out
+
+
+class TestMoreCli:
+    def test_generate_rmat(self, tmp_path):
+        out = tmp_path / "rmat.txt"
+        assert main(["generate", "rmat", str(out), "--scale", "6"]) == 0
+        assert read_edge_list(out).num_vertices > 0
+
+    def test_report_markdown(self, tmp_path, capsys):
+        from repro.experiments.records import ExperimentRecord, save_records
+
+        save_records(
+            [ExperimentRecord("x1", "demo", rows=[{"a": 1, "b": 2.5}])],
+            tmp_path / "x1.json",
+        )
+        assert main(["report", "--results-dir", str(tmp_path), "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "## x1 — demo" in out
+        assert "| a | b |" in out
+
+    def test_report_empty_dir(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        assert "no experiment records" in capsys.readouterr().out

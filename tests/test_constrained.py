@@ -1,0 +1,261 @@
+"""Tests for the label-constrained reachability extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constrained.labeled import LabeledDiGraph
+from repro.constrained.lcr import ConstrainedReachability, constrained_bibfs
+from repro.graph.traversal import is_reachable_bfs
+
+LABELS = ["follows", "blocks", "pays"]
+
+
+def random_labeled(n: int, m: int, seed: int) -> LabeledDiGraph:
+    rng = random.Random(seed)
+    g = LabeledDiGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    for _ in range(m):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v, rng.choice(LABELS))
+    return g
+
+
+class TestLabeledDiGraph:
+    def test_add_and_label(self):
+        g = LabeledDiGraph()
+        assert g.add_edge(0, 1, "a") is None
+        assert g.label_of(0, 1) == "a"
+        assert g.num_edges == 1
+        assert g.labels() == {"a"}
+
+    def test_relabel_returns_previous(self):
+        g = LabeledDiGraph(edges=[(0, 1, "a")])
+        assert g.add_edge(0, 1, "b") == "a"
+        assert g.label_of(0, 1) == "b"
+        assert g.num_edges == 1
+
+    def test_remove_returns_label(self):
+        g = LabeledDiGraph(edges=[(0, 1, "a")])
+        assert g.remove_edge(0, 1) == "a"
+        assert g.remove_edge(0, 1) is None
+        assert g.num_edges == 0
+
+    def test_edges_iteration(self):
+        g = LabeledDiGraph(edges=[(0, 1, "a"), (1, 2, "b")])
+        assert set(g.edges()) == {(0, 1, "a"), (1, 2, "b")}
+
+    def test_restricted_subgraph(self):
+        g = LabeledDiGraph(edges=[(0, 1, "a"), (1, 2, "b"), (2, 3, "a")])
+        sub = g.restricted({"a"})
+        assert set(sub.edges()) == {(0, 1), (2, 3)}
+        assert sub.num_vertices == 4  # vertices retained
+
+    def test_missing_label_raises(self):
+        with pytest.raises(KeyError):
+            LabeledDiGraph().label_of(0, 1)
+
+
+class TestConstrainedBiBFS:
+    def test_path_with_allowed_labels(self):
+        g = LabeledDiGraph(edges=[(0, 1, "a"), (1, 2, "a"), (2, 3, "b")])
+        assert constrained_bibfs(g, 0, 2, {"a"})
+        assert not constrained_bibfs(g, 0, 3, {"a"})
+        assert constrained_bibfs(g, 0, 3, {"a", "b"})
+
+    def test_trivial_and_missing(self):
+        g = LabeledDiGraph(edges=[(0, 1, "a")])
+        assert constrained_bibfs(g, 0, 0, {"a"})
+        assert not constrained_bibfs(g, 0, 99, {"a"})
+
+    def test_matches_restricted_oracle(self):
+        g = random_labeled(20, 60, seed=1)
+        rng = random.Random(2)
+        for _ in range(40):
+            allowed = set(rng.sample(LABELS, rng.randint(1, 3)))
+            s, t = rng.randrange(20), rng.randrange(20)
+            expected = is_reachable_bfs(g.restricted(allowed), s, t)
+            assert constrained_bibfs(g, s, t, allowed) == expected
+
+
+class TestConstrainedReachability:
+    def test_basic_query(self):
+        engine = ConstrainedReachability()
+        engine.insert_edge(0, 1, "follows")
+        engine.insert_edge(1, 2, "pays")
+        assert engine.query(0, 2, {"follows", "pays"})
+        assert not engine.query(0, 2, {"follows"})
+
+    def test_views_created_lazily(self):
+        engine = ConstrainedReachability()
+        engine.insert_edge(0, 1, "a")
+        assert engine.active_view_count == 0
+        engine.query(0, 1, {"a"})
+        assert engine.active_view_count == 1
+        engine.query(0, 1, {"a"})  # reused
+        assert engine.active_view_count == 1
+
+    def test_updates_propagate_to_views(self):
+        engine = ConstrainedReachability()
+        engine.insert_edge(0, 1, "a")
+        assert not engine.query(0, 2, {"a"})  # view materialized now
+        engine.insert_edge(1, 2, "a")
+        assert engine.query(0, 2, {"a"})
+        engine.delete_edge(0, 1)
+        assert not engine.query(0, 2, {"a"})
+
+    def test_relabel_moves_edge_between_views(self):
+        engine = ConstrainedReachability()
+        engine.insert_edge(0, 1, "a")
+        assert engine.query(0, 1, {"a"})
+        assert not engine.query(0, 1, {"b"})  # both views active now
+        engine.insert_edge(0, 1, "b")  # re-label a -> b
+        assert not engine.query(0, 1, {"a"})
+        assert engine.query(0, 1, {"b"})
+
+    def test_new_vertices_visible_in_existing_views(self):
+        engine = ConstrainedReachability()
+        engine.insert_edge(0, 1, "a")
+        engine.query(0, 1, {"a"})
+        engine.insert_edge(1, 5, "a")  # vertex 5 is new
+        assert engine.query(0, 5, {"a"})
+
+    def test_view_budget(self):
+        engine = ConstrainedReachability(max_views=1)
+        engine.insert_edge(0, 1, "a")
+        engine.query(0, 1, {"a"})
+        with pytest.raises(RuntimeError):
+            engine.query(0, 1, {"b"})
+        assert engine.evict({"a"})
+        assert not engine.query(0, 1, {"b"})  # now fits
+
+    def test_evict_all(self):
+        engine = ConstrainedReachability()
+        engine.insert_edge(0, 1, "a")
+        engine.query(0, 1, {"a"})
+        engine.evict_all()
+        assert engine.active_view_count == 0
+
+    def test_stats_passthrough(self):
+        engine = ConstrainedReachability()
+        engine.insert_edge(0, 1, "a")
+        answer, stats = engine.query_with_stats(0, 1, {"a"})
+        assert answer is True
+        assert stats.result is True
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ConstrainedReachability(max_views=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10**5),
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(0, 9),
+            st.integers(0, 9),
+            st.sampled_from(LABELS),
+        ),
+        max_size=40,
+    ),
+)
+def test_property_lcr_engines_agree(seed, ops):
+    """Under random labeled update streams, the view-cached IFCA engine,
+    the filtering BiBFS, and a restricted-subgraph BFS oracle all agree."""
+    rng = random.Random(seed)
+    engine = ConstrainedReachability()
+    # Materialize some views up-front so updates must keep them in sync.
+    engine.insert_edge(0, 1, LABELS[0])
+    for label in LABELS:
+        engine.query(0, 1, {label})
+    engine.query(0, 1, set(LABELS))
+    for insert, u, v, label in ops:
+        if u == v:
+            continue
+        if insert:
+            engine.insert_edge(u, v, label)
+        else:
+            engine.delete_edge(u, v)
+    labeled = engine.labeled
+    for _ in range(4):
+        allowed = set(rng.sample(LABELS, rng.randint(1, len(LABELS))))
+        s, t = rng.randrange(10), rng.randrange(10)
+        if s not in labeled.graph or t not in labeled.graph:
+            continue
+        expected = is_reachable_bfs(labeled.restricted(allowed), s, t)
+        assert engine.query(s, t, allowed) == expected
+        assert constrained_bibfs(labeled, s, t, allowed) == expected
+
+
+class TestHopBounded:
+    def test_line_exact_budgets(self):
+        from repro.constrained.hop import hop_bounded_reachable
+        from repro.graph.digraph import DynamicDiGraph
+
+        g = DynamicDiGraph(edges=[(i, i + 1) for i in range(6)])
+        assert hop_bounded_reachable(g, 0, 6, 6)
+        assert not hop_bounded_reachable(g, 0, 6, 5)
+        assert hop_bounded_reachable(g, 0, 0, 0)
+        assert not hop_bounded_reachable(g, 0, 1, 0)
+
+    def test_shortcut_changes_budget(self):
+        from repro.constrained.hop import HopBoundedReachability
+        from repro.graph.digraph import DynamicDiGraph
+
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        engine = HopBoundedReachability(g)
+        assert engine.min_hops(0, 3) == 3
+        engine.insert_edge(0, 3)
+        assert engine.min_hops(0, 3) == 1
+        engine.delete_edge(0, 3)
+        assert engine.min_hops(0, 3) == 3
+
+    def test_unreachable_returns_none(self):
+        from repro.constrained.hop import HopBoundedReachability
+        from repro.graph.digraph import DynamicDiGraph
+
+        engine = HopBoundedReachability(DynamicDiGraph(edges=[(0, 1), (3, 2)]))
+        assert engine.min_hops(0, 2) is None
+
+    def test_invalid_budget(self):
+        from repro.constrained.hop import hop_bounded_reachable
+        from repro.graph.digraph import DynamicDiGraph
+
+        with pytest.raises(ValueError):
+            hop_bounded_reachable(DynamicDiGraph(), 0, 1, -1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**5), k=st.integers(0, 8))
+    def test_property_matches_bfs_distances(self, seed, k):
+        from repro.constrained.hop import hop_bounded_reachable
+        from repro.graph.traversal import bfs_distances
+        from tests.conftest import random_graph
+
+        g = random_graph(14, 30, seed)
+        rng = random.Random(seed)
+        vs = list(g.vertices())
+        for _ in range(5):
+            s, t = rng.choice(vs), rng.choice(vs)
+            dist = bfs_distances(g, s).get(t)
+            expected = dist is not None and dist <= k
+            assert hop_bounded_reachable(g, s, t, k) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**5))
+    def test_property_min_hops_is_bfs_distance(self, seed):
+        from repro.constrained.hop import HopBoundedReachability
+        from repro.graph.traversal import bfs_distances
+        from tests.conftest import random_graph
+
+        g = random_graph(12, 25, seed)
+        engine = HopBoundedReachability(g)
+        rng = random.Random(seed)
+        vs = list(g.vertices())
+        s, t = rng.choice(vs), rng.choice(vs)
+        assert engine.min_hops(s, t) == bfs_distances(g, s).get(t)

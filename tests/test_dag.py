@@ -1,0 +1,183 @@
+"""Tests for incremental condensation maintenance (DynamicDAG)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dag import DynamicDAG
+from repro.graph.digraph import DynamicDiGraph
+
+
+class TestStaticBuild:
+    def test_build_from_graph(self, two_scc_graph):
+        dag = DynamicDAG(two_scc_graph)
+        dag.check_consistency()
+        assert dag.dag.num_vertices == 2
+        assert dag.same_component(0, 1)
+        assert not dag.same_component(0, 3)
+
+    def test_empty(self):
+        dag = DynamicDAG()
+        assert dag.dag.num_vertices == 0
+
+
+class TestInsertions:
+    def test_insert_simple_edge(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 1)
+        dag.check_consistency()
+        assert not dag.same_component(0, 1)
+        assert dag.merge_count == 0
+
+    def test_insert_duplicate_is_noop(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 1)
+        assert not dag.insert_edge(0, 1)
+        dag.check_consistency()
+
+    def test_cycle_merges(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 1)
+        dag.insert_edge(1, 2)
+        dag.insert_edge(2, 0)
+        dag.check_consistency()
+        assert dag.same_component(0, 2)
+        assert dag.merge_count == 1
+
+    def test_long_path_merge(self):
+        dag = DynamicDAG()
+        for i in range(10):
+            dag.insert_edge(i, i + 1)
+        dag.insert_edge(10, 0)
+        dag.check_consistency()
+        assert dag.dag.num_vertices == 1
+        assert len(dag.members[dag.component_of(0)]) == 11
+
+    def test_partial_merge_keeps_outside(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 1)
+        dag.insert_edge(1, 2)
+        dag.insert_edge(2, 3)
+        dag.insert_edge(2, 0)  # merge {0,1,2}, keep 3 outside
+        dag.check_consistency()
+        assert dag.same_component(0, 2)
+        assert not dag.same_component(0, 3)
+        assert dag.dag.has_edge(dag.component_of(0), dag.component_of(3))
+
+    def test_merge_preserves_multiplicity(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 2)
+        dag.insert_edge(1, 2)
+        dag.insert_edge(0, 1)
+        dag.insert_edge(1, 0)  # merge {0,1}; two edges now lead to {2}
+        dag.check_consistency()
+        c01 = dag.component_of(0)
+        c2 = dag.component_of(2)
+        assert dag._edge_multiplicity[(c01, c2)] == 2
+
+    def test_self_loop(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 0)
+        dag.check_consistency()
+        assert dag.dag.num_vertices == 1
+
+
+class TestDeletions:
+    def test_delete_inter_scc_edge(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 1)
+        dag.delete_edge(0, 1)
+        dag.check_consistency()
+        assert dag.split_count == 0
+
+    def test_delete_missing_edge(self):
+        dag = DynamicDAG()
+        dag.insert_edge(0, 1)
+        assert not dag.delete_edge(1, 0)
+        dag.check_consistency()
+
+    def test_delete_splits_cycle(self):
+        dag = DynamicDAG()
+        for u, v in [(0, 1), (1, 2), (2, 0)]:
+            dag.insert_edge(u, v)
+        dag.delete_edge(1, 2)
+        dag.check_consistency()
+        assert not dag.same_component(0, 2)
+        assert dag.split_count == 1
+
+    def test_delete_redundant_intra_edge_no_split(self):
+        dag = DynamicDAG()
+        for u, v in [(0, 1), (1, 0), (0, 2), (2, 0)]:
+            dag.insert_edge(u, v)
+        dag.insert_edge(1, 2)  # redundant chord inside the SCC {0,1,2}
+        dag.delete_edge(1, 2)
+        dag.check_consistency()
+        assert dag.same_component(0, 2)
+        assert dag.split_count == 0
+
+    def test_split_rewires_external_edges(self):
+        dag = DynamicDAG()
+        for u, v in [(0, 1), (1, 2), (2, 0), (5, 1), (2, 6)]:
+            dag.insert_edge(u, v)
+        dag.delete_edge(2, 0)
+        dag.check_consistency()
+        assert dag.dag.has_edge(dag.component_of(5), dag.component_of(1))
+        assert dag.dag.has_edge(dag.component_of(2), dag.component_of(6))
+
+
+class TestCallbacks:
+    def test_merge_callback(self):
+        events = []
+        dag = DynamicDAG()
+        dag.on_merge = lambda merged, new_cid: events.append(("merge", new_cid))
+        dag.insert_edge(0, 1)
+        dag.insert_edge(1, 0)
+        assert events and events[0][0] == "merge"
+
+    def test_split_callback(self):
+        events = []
+        dag = DynamicDAG()
+        dag.insert_edge(0, 1)
+        dag.insert_edge(1, 0)
+        dag.on_split = lambda old, new: events.append(("split", len(new)))
+        dag.delete_edge(0, 1)
+        assert events == [("split", 2)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 8), st.integers(0, 8)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_random_edits_stay_consistent(ops):
+    """Any interleaving of inserts and deletes leaves the maintained
+    condensation identical to one rebuilt from scratch."""
+    dag = DynamicDAG()
+    for insert, u, v in ops:
+        if insert:
+            dag.insert_edge(u, v)
+        else:
+            dag.delete_edge(u, v)
+    dag.check_consistency()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_incremental_matches_batch(seed):
+    """Inserting a random edge list incrementally produces the same
+    condensation as building the final graph from scratch."""
+    import random
+
+    rng = random.Random(seed)
+    edges = [
+        (rng.randrange(10), rng.randrange(10)) for _ in range(25)
+    ]
+    dag = DynamicDAG()
+    for u, v in edges:
+        dag.insert_edge(u, v)
+    batch = DynamicDAG(DynamicDiGraph(edges=edges))
+    incr_sets = {frozenset(m) for m in dag.members.values()}
+    batch_sets = {frozenset(m) for m in batch.members.values()}
+    assert incr_sets == batch_sets

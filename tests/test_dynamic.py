@@ -1,0 +1,190 @@
+"""Tests for the dynamic substrate: events, batching, expiry, replay driver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bibfs import BiBFSMethod
+from repro.baselines.dbl import DBLMethod
+from repro.dynamic.driver import DynamicWorkload, replay
+from repro.dynamic.events import (
+    EdgeEvent,
+    TemporalEdgeStream,
+    apply_event,
+    initial_snapshot_split,
+    materialize,
+)
+from repro.dynamic.expiry import apply_expiry_rule
+from repro.graph.digraph import DynamicDiGraph
+
+
+def ev(t, u, v, insert=True):
+    return EdgeEvent(time=t, source=u, target=v, insert=insert)
+
+
+class TestEvents:
+    def test_event_ordering(self):
+        assert ev(1, 0, 1) < ev(2, 5, 6)
+
+    def test_edge_property(self):
+        assert ev(0, 3, 4).edge == (3, 4)
+
+    def test_stream_sorted(self):
+        stream = TemporalEdgeStream([ev(5, 0, 1), ev(1, 2, 3)])
+        assert [e.time for e in stream] == [1, 5]
+
+    def test_counts(self):
+        stream = TemporalEdgeStream([ev(1, 0, 1), ev(2, 0, 1, insert=False)])
+        assert stream.num_insertions == 1
+        assert stream.num_deletions == 1
+        assert len(stream) == 2
+
+    def test_time_span(self):
+        assert TemporalEdgeStream([]).time_span == (0.0, 0.0)
+        assert TemporalEdgeStream([ev(3, 0, 1), ev(9, 1, 2)]).time_span == (3, 9)
+
+
+class TestBatching:
+    def test_even_split(self):
+        stream = TemporalEdgeStream([ev(t, 0, t) for t in range(10)])
+        batches = stream.batches(3)
+        assert len(batches) == 3
+        assert sum(len(b) for b in batches) == 10
+
+    def test_boundaries_preserve_order(self):
+        stream = TemporalEdgeStream([ev(t, 0, t) for t in range(20)])
+        batches = stream.batches(4)
+        flattened = [e for batch in batches for e in batch]
+        assert flattened == stream.events
+
+    def test_zero_width_span(self):
+        stream = TemporalEdgeStream([ev(5, 0, 1), ev(5, 1, 2)])
+        batches = stream.batches(4)
+        assert [len(b) for b in batches] == [0, 0, 0, 2]
+
+    def test_empty_stream(self):
+        assert TemporalEdgeStream([]).batches(3) == [[], [], []]
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            TemporalEdgeStream([]).batches(0)
+
+
+class TestSnapshots:
+    def test_initial_split(self):
+        events = [ev(0, 0, 1), ev(0, 1, 2), ev(5, 2, 3)]
+        initial, stream = initial_snapshot_split(events)
+        assert initial.num_edges == 2
+        assert len(stream) == 1
+
+    def test_apply_event(self):
+        g = DynamicDiGraph()
+        assert apply_event(g, ev(0, 0, 1))
+        assert not apply_event(g, ev(1, 0, 1))  # duplicate
+        assert apply_event(g, ev(2, 0, 1, insert=False))
+
+    def test_materialize_until(self):
+        initial = DynamicDiGraph(edges=[(0, 1)])
+        stream = TemporalEdgeStream([ev(1, 1, 2), ev(5, 2, 3)])
+        snap = materialize(initial, stream, until=2)
+        assert snap.has_edge(1, 2)
+        assert not snap.has_edge(2, 3)
+
+    def test_materialize_all(self):
+        initial = DynamicDiGraph()
+        stream = TemporalEdgeStream([ev(1, 0, 1), ev(2, 0, 1, insert=False)])
+        assert materialize(initial, stream).num_edges == 0
+
+
+class TestExpiry:
+    def test_expiry_added_at_lifetime(self):
+        events = [ev(0, 0, 1), ev(100, 5, 6)]
+        stream = apply_expiry_rule(events, fraction=0.1)
+        deletions = [e for e in stream if not e.insert]
+        assert len(deletions) == 1
+        assert deletions[0].edge == (0, 1)
+        assert deletions[0].time == pytest.approx(10.0)
+
+    def test_expiry_beyond_span_dropped(self):
+        events = [ev(0, 0, 1), ev(5, 1, 2)]
+        stream = apply_expiry_rule(events, fraction=0.5)
+        # Edge (1,2) would expire at 7.5 > 5: dropped.
+        deletions = [e for e in stream if not e.insert]
+        assert [d.edge for d in deletions] == [(0, 1)]
+
+    def test_explicit_delete_disarms(self):
+        events = [ev(0, 0, 1), ev(1, 0, 1, insert=False), ev(100, 5, 6)]
+        stream = apply_expiry_rule(events, fraction=0.1)
+        deletions = [e for e in stream if not e.insert]
+        assert len(deletions) == 1  # only the explicit one
+
+    def test_reinsert_rearms(self):
+        events = [ev(0, 0, 1), ev(50, 0, 1), ev(100, 5, 6)]
+        stream = apply_expiry_rule(events, fraction=0.1)
+        deletions = [e for e in stream if not e.insert]
+        # First expiry at t=10 fires; re-insert at 50 expires at 60.
+        assert [round(d.time) for d in deletions] == [10, 60]
+
+    def test_interleaved_in_time_order(self):
+        events = [ev(t, t, t + 1) for t in range(0, 100, 10)]
+        stream = apply_expiry_rule(events, fraction=0.1)
+        times = [e.time for e in stream]
+        assert times == sorted(times)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            apply_expiry_rule([], fraction=0.0)
+
+    def test_empty(self):
+        assert len(apply_expiry_rule([ev(0, 0, 1)])) == 1
+
+
+class TestReplayDriver:
+    def _workload(self):
+        initial = DynamicDiGraph(edges=[(0, 1), (1, 2)])
+        stream = TemporalEdgeStream(
+            [ev(1, 2, 3), ev(2, 3, 4), ev(3, 0, 1, insert=False), ev(4, 4, 0)]
+        )
+        return DynamicWorkload(
+            initial=initial, stream=stream, num_batches=2, queries_per_batch=10
+        )
+
+    def test_replay_counts(self):
+        result = replay(lambda g: BiBFSMethod(g), self._workload())
+        assert result.num_updates == 4
+        assert result.num_queries == 20
+        assert result.num_positive + result.num_negative == 20
+        assert result.accuracy == 1.0
+        assert len(result.per_batch_query_time) == 2
+
+    def test_replay_does_not_mutate_workload(self):
+        workload = self._workload()
+        before = workload.initial.num_edges
+        replay(lambda g: BiBFSMethod(g), workload)
+        assert workload.initial.num_edges == before
+
+    def test_deletion_skipping_for_dbl(self):
+        result = replay(lambda g: DBLMethod(g), self._workload())
+        assert result.skipped_deletions == 1
+        assert result.num_updates == 3  # deletions not counted as updates
+
+    def test_total_time_projection(self):
+        result = replay(lambda g: BiBFSMethod(g), self._workload())
+        assert result.total_time(0) == pytest.approx(result.avg_update_time)
+        assert result.total_time(10) == pytest.approx(
+            result.avg_update_time + 10 * result.avg_query_time
+        )
+
+    def test_method_name_override(self):
+        result = replay(
+            lambda g: BiBFSMethod(g), self._workload(), method_name="custom"
+        )
+        assert result.method_name == "custom"
+
+    def test_empty_result_properties(self):
+        from repro.dynamic.driver import ReplayResult
+
+        r = ReplayResult(method_name="x")
+        assert r.avg_update_time == 0.0
+        assert r.avg_query_time == 0.0
+        assert r.accuracy == 1.0

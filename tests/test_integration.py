@@ -1,0 +1,151 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These replay realistic slices of the paper's full pipeline — generator ->
+temporal stream -> expiry -> driver -> methods -> metrics — and check the
+global invariants that hold regardless of timing: every exact method
+agrees with the oracle on every snapshot, streams and snapshots stay
+consistent, and the experiment runners compose.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.bibfs import BiBFSMethod
+from repro.baselines.dagger import DaggerMethod
+from repro.baselines.ip import IPMethod
+from repro.baselines.tol import TOLMethod
+from repro.core.ifca import IFCA, IFCAMethod
+from repro.core.params import IFCAParams
+from repro.datasets.registry import DATASET_ORDER, load_analog
+from repro.datasets.temporal import temporal_stream_for_graph
+from repro.datasets.sbm import planted_partition_graph
+from repro.dynamic.driver import DynamicWorkload, replay
+from repro.dynamic.events import TemporalEdgeStream, apply_event, materialize
+from repro.graph.traversal import is_reachable_bfs
+from repro.workloads.queries import generate_queries, label_queries
+
+
+class TestAnalogPipeline:
+    @pytest.mark.parametrize("code", DATASET_ORDER)
+    def test_every_analog_builds_and_replays(self, code):
+        """All twelve analogs: stream consistency plus a short exact replay."""
+        analog, initial, stream = load_analog(code, seed=0)
+        assert initial.num_edges > 0
+        assert stream.num_insertions > 0
+        short = TemporalEdgeStream(stream.events[:60])
+        workload = DynamicWorkload(
+            initial=initial, stream=short, num_batches=2, queries_per_batch=5
+        )
+        result = replay(lambda g: IFCAMethod(g), workload)
+        assert result.accuracy == 1.0
+        assert result.num_queries == 10
+
+    def test_snapshots_are_prefix_consistent(self):
+        _, initial, stream = load_analog("EN", seed=1)
+        t_min, t_max = stream.time_span
+        midpoint = t_min + (t_max - t_min) / 2
+        mid = materialize(initial, stream, until=midpoint)
+        rebuilt = initial.copy()
+        for event in stream:
+            if event.time <= midpoint:
+                apply_event(rebuilt, event)
+        assert mid == rebuilt
+
+
+class TestMethodsAgreeAlongStream:
+    def test_four_exact_methods_track_one_stream(self):
+        """Replay one evolving graph; at several checkpoints all exact
+        methods must agree with a BFS oracle on a query sample."""
+        full = planted_partition_graph(4, 30, 0.12, 0.004, seed=9)
+        initial, stream = temporal_stream_for_graph(
+            full, initial_fraction=0.4, expiry_fraction=0.15, seed=10
+        )
+        methods = [
+            IFCAMethod(initial.copy()),
+            BiBFSMethod(initial.copy()),
+            TOLMethod(initial.copy()),
+            IPMethod(initial.copy()),
+            DaggerMethod(initial.copy()),
+        ]
+        shadow = initial.copy()
+        rng = random.Random(11)
+        for i, event in enumerate(stream.events[:180]):
+            apply_event(shadow, event)
+            for method in methods:
+                if event.insert:
+                    method.insert_edge(event.source, event.target)
+                else:
+                    method.delete_edge(event.source, event.target)
+            if i % 30 == 0:
+                queries = generate_queries(shadow, 6, rng=rng)
+                for s, t in queries:
+                    expected = is_reachable_bfs(shadow, s, t)
+                    for method in methods:
+                        assert method.query(s, t) == expected, (
+                            f"{method.name} diverged at event {i} on {s}->{t}"
+                        )
+
+
+class TestEngineVariantsAgreeOnWorkload:
+    def test_all_parameterizations_one_workload(self):
+        _, initial, stream = load_analog("EP", seed=2)
+        graph = materialize(
+            initial, TemporalEdgeStream(stream.events[:150])
+        )
+        batch = label_queries(graph, generate_queries(graph, 60, seed=3))
+        variants = [
+            IFCAParams(),
+            IFCAParams(use_cost_model=False),
+            IFCAParams(force_switch_round=0),
+            IFCAParams(force_switch_round=2),
+            IFCAParams(push_style="backward"),
+            IFCAParams(push_order="greedy"),
+            IFCAParams(epsilon_pre=1e-5, epsilon_init=1e-3, step=100.0),
+        ]
+        engines = [IFCA(graph, p) for p in variants]
+        for (s, t), expected in zip(batch.queries, batch.ground_truth):
+            for engine in engines:
+                assert engine.is_reachable(s, t) == expected
+
+    def test_stats_accounting_consistent(self):
+        """Edge-access totals decompose into guided + bibfs parts and the
+        terminated_by tag matches the switch flag."""
+        _, initial, stream = load_analog("FL", seed=4)
+        graph = materialize(initial, stream)
+        engine = IFCA(graph, IFCAParams(use_cost_model=False))
+        for s, t in generate_queries(graph, 30, seed=5):
+            _, stats = engine.query_with_stats(s, t)
+            assert stats.edge_accesses == (
+                stats.guided_edge_accesses + stats.bibfs_edge_accesses
+            )
+            if stats.terminated_by == "bibfs":
+                assert stats.switched_to_bibfs
+            else:
+                assert stats.bibfs_edge_accesses == 0
+
+
+class TestDbExpiryEndToEnd:
+    def test_expiring_edges_flip_answers_over_time(self):
+        """A long chain inserted early expires in pieces; reachability
+        along the chain must degrade exactly when the expiry fires."""
+        from repro.dynamic.events import EdgeEvent
+        from repro.dynamic.expiry import apply_expiry_rule
+        from repro.graph.digraph import DynamicDiGraph
+
+        chain = [EdgeEvent(time=float(i), source=i, target=i + 1) for i in range(5)]
+        padding = [EdgeEvent(time=100.0, source=90, target=91)]
+        stream = apply_expiry_rule(chain + padding, fraction=0.2)  # life = 20
+        engine = IFCA(DynamicDiGraph(vertices=range(6)))
+        alive = {}
+        for event in stream:
+            if event.insert:
+                engine.insert_edge(event.source, event.target)
+                alive[event.edge] = True
+            else:
+                engine.delete_edge(event.source, event.target)
+                alive[event.edge] = False
+            if event.time >= 20.0 and (0, 1) in alive and not alive[(0, 1)]:
+                assert not engine.is_reachable(0, 5)
+        # All chain edges expired before t=100: nothing reaches 5.
+        assert not engine.is_reachable(0, 5)

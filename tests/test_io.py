@@ -1,0 +1,72 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.dynamic.events import EdgeEvent
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.io import (
+    read_edge_list,
+    read_temporal_edge_list,
+    write_edge_list,
+    write_temporal_edge_list,
+)
+
+
+class TestStaticEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% konect comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert set(g.edges()) == {(0, 1), (1, 2)}
+
+    def test_comma_separated(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("0,1\n1,2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_duplicate_edges_collapse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+
+class TestTemporalEdgeList:
+    def test_three_column(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0 1 5.0\n1 2 3.0\n")
+        events = read_temporal_edge_list(path)
+        assert [e.time for e in events] == [3.0, 5.0]  # sorted
+        assert all(e.insert for e in events)
+
+    def test_four_column_konect_signs(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0 1 1 10\n0 1 -1 20\n")
+        events = read_temporal_edge_list(path)
+        assert events[0].insert
+        assert not events[1].insert
+
+    def test_too_few_columns_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            read_temporal_edge_list(path)
+
+    def test_round_trip(self, tmp_path):
+        events = [
+            EdgeEvent(time=1.0, source=0, target=1, insert=True),
+            EdgeEvent(time=2.0, source=0, target=1, insert=False),
+        ]
+        path = tmp_path / "t.txt"
+        write_temporal_edge_list(events, path)
+        back = read_temporal_edge_list(path)
+        assert [(e.time, e.source, e.target, e.insert) for e in back] == [
+            (1.0, 0, 1, True),
+            (2.0, 0, 1, False),
+        ]

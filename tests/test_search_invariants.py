@@ -1,0 +1,149 @@
+"""White-box invariant tests for the guided search + contraction machinery.
+
+These drive Alg. 3/Alg. 4 directly (bypassing Alg. 2) and check the
+soundness invariants the correctness proof rests on, after every round:
+
+* every forward-visited vertex is truly reachable from ``s`` on the base
+  graph, and every reverse-visited vertex truly reaches ``t``;
+* the contraction overlay maps merged vertices to the right sentinel and
+  never chains;
+* the super-vertex adjacency, resolved through the overlay, reaches
+  exactly the base-graph out-neighbors of the merged community that are
+  outside it;
+* the reduced-size counters stay consistent bounds;
+* residues are non-negative and the frontier definition (visited minus
+  explored) matches positive-residue vertices up to contraction resets.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contraction import ContractionOutcome, community_contraction
+from repro.core.guided import guided_search
+from repro.core.params import EPSILON_FLOOR, IFCAParams
+from repro.core.state import SUPER_FORWARD, SUPER_REVERSE, SearchContext
+from repro.core.stats import QueryStats
+from repro.graph.traversal import bfs_reachable, reverse_bfs_reachable
+
+from tests.conftest import random_graph
+
+
+def drive_rounds(graph, s, t, rounds=6, **params):
+    """Run the Alg. 2 loop body for a fixed number of rounds, returning
+    the context after each round for inspection."""
+    resolved = IFCAParams(use_cost_model=False, **params).resolve(graph)
+    ctx = SearchContext(graph, resolved, s, t)
+    stats = QueryStats()
+    states = []
+    for _ in range(rounds):
+        met = guided_search(ctx, ctx.fwd, stats)
+        out_f = community_contraction(ctx, ctx.fwd, stats)
+        if met or out_f in (ContractionOutcome.MEET, ContractionOutcome.EXHAUSTED):
+            states.append(ctx)
+            break
+        met = guided_search(ctx, ctx.rev, stats)
+        out_r = community_contraction(ctx, ctx.rev, stats)
+        states.append(ctx)
+        if met or out_r in (ContractionOutcome.MEET, ContractionOutcome.EXHAUSTED):
+            break
+        ctx.epsilon_cur = max(ctx.epsilon_cur / resolved.step, EPSILON_FLOOR)
+    return ctx, stats
+
+
+def assert_soundness(graph, s, t, ctx):
+    fwd_truth = bfs_reachable(graph, s)
+    rev_truth = reverse_bfs_reachable(graph, t)
+    for v in ctx.fwd.visited:
+        if v == SUPER_FORWARD:
+            assert ctx.fwd.merged <= fwd_truth
+        elif v >= 0:
+            assert v in fwd_truth, f"forward visited {v} not reachable from {s}"
+    for v in ctx.rev.visited:
+        if v == SUPER_REVERSE:
+            assert ctx.rev.merged <= rev_truth
+        elif v >= 0:
+            assert v in rev_truth, f"reverse visited {v} does not reach {t}"
+
+
+def assert_overlay_consistent(graph, ctx):
+    for v, target in ctx.find.items():
+        assert target in (SUPER_FORWARD, SUPER_REVERSE)
+        assert v >= 0
+        # No chains: merged vertices never appear as overlay keys twice.
+        assert ctx.find.get(target, target) == target
+    assert ctx.fwd.merged.isdisjoint(ctx.rev.merged)
+    # Super adjacency covers the community's outside out-neighbors.
+    if ctx.fwd.has_super:
+        expected = set()
+        for v in ctx.fwd.merged:
+            for w in graph.out_neighbors(v):
+                w = ctx.resolve(w)
+                if w != SUPER_FORWARD:
+                    expected.add(w)
+        resolved_adj = {ctx.resolve(w) for w in ctx.fwd.super_adj}
+        resolved_adj.discard(SUPER_FORWARD)
+        assert expected <= resolved_adj | {SUPER_REVERSE}
+
+
+def assert_counters(graph, ctx):
+    supers = int(ctx.fwd.has_super) + int(ctx.rev.has_super)
+    expected_n = graph.num_vertices - len(ctx.fwd.merged) - len(ctx.rev.merged) + supers
+    assert ctx.n_reduced == expected_n
+    assert 0 <= ctx.m_reduced <= graph.num_edges + len(ctx.fwd.super_adj) + len(
+        ctx.rev.super_adj
+    )
+    for state in (ctx.fwd, ctx.rev):
+        assert all(r >= 0.0 for r in state.residue.values())
+        assert state.explored <= state.visited | {state.super_sentinel}
+
+
+class TestInvariantsOnFixtures:
+    @pytest.mark.parametrize("style", ["forward", "backward"])
+    def test_two_scc_graph(self, two_scc_graph, style):
+        ctx, _ = drive_rounds(
+            two_scc_graph, 0, 5, rounds=8, push_style=style, epsilon_pre=1e-3
+        )
+        assert_soundness(two_scc_graph, 0, 5, ctx)
+        assert_overlay_consistent(two_scc_graph, ctx)
+        assert_counters(two_scc_graph, ctx)
+
+    def test_highschool_inter_community(self, highschool):
+        from repro.datasets.highschool import INTER_DESTINATION, SOURCE
+
+        ctx, stats = drive_rounds(
+            highschool, SOURCE, INTER_DESTINATION, rounds=10, epsilon_pre=1e-3
+        )
+        assert_soundness(highschool, SOURCE, INTER_DESTINATION, ctx)
+        assert_overlay_consistent(highschool, ctx)
+        assert_counters(highschool, ctx)
+
+    def test_contraction_reduces_n(self, sbm_small):
+        ctx, stats = drive_rounds(sbm_small, 0, 1, rounds=8, epsilon_pre=1e-3)
+        if stats.contractions:
+            assert ctx.n_reduced < sbm_small.num_vertices
+            assert_counters(sbm_small, ctx)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(4, 22),
+    style=st.sampled_from(["forward", "backward"]),
+    rounds=st.integers(1, 8),
+)
+def test_property_invariants_hold_after_any_round(seed, n, style, rounds):
+    g = random_graph(n, 3 * n, seed)
+    rng = random.Random(seed)
+    vs = list(g.vertices())
+    s, t = rng.choice(vs), rng.choice(vs)
+    if s == t:
+        return
+    ctx, _ = drive_rounds(
+        g, s, t, rounds=rounds, push_style=style, epsilon_pre=5e-3
+    )
+    assert_soundness(g, s, t, ctx)
+    assert_overlay_consistent(g, ctx)
+    assert_counters(g, ctx)

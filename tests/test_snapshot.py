@@ -1,0 +1,74 @@
+"""Tests for frozen CSR snapshots."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.snapshot import CSRSnapshot
+
+from tests.conftest import random_graph
+
+
+class TestFreezeThaw:
+    def test_round_trip(self):
+        g = random_graph(30, 90, seed=1)
+        snap = CSRSnapshot.freeze(g)
+        assert snap.num_vertices == g.num_vertices
+        assert snap.num_edges == g.num_edges
+        assert snap.thaw() == g
+
+    def test_adjacency_matches(self):
+        g = random_graph(20, 50, seed=2)
+        snap = CSRSnapshot.freeze(g)
+        for v in g.vertices():
+            assert sorted(snap.out_neighbors(v)) == sorted(g.out_neighbors(v))
+            assert sorted(snap.in_neighbors(v)) == sorted(g.in_neighbors(v))
+            assert snap.out_degree(v) == g.out_degree(v)
+            assert snap.in_degree(v) == g.in_degree(v)
+
+    def test_sparse_id_space(self):
+        g = DynamicDiGraph(edges=[(1000, 5), (5, 70000)])
+        snap = CSRSnapshot.freeze(g)
+        assert snap.has_vertex(70000)
+        assert snap.out_neighbors(1000) == [5]
+        assert snap.thaw() == g
+
+    def test_edges_iteration(self):
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        snap = CSRSnapshot.freeze(g)
+        assert set(snap.edges()) == set(g.edges())
+
+    def test_empty_graph(self):
+        snap = CSRSnapshot.freeze(DynamicDiGraph())
+        assert snap.num_vertices == 0
+        assert snap.num_edges == 0
+        assert snap.thaw() == DynamicDiGraph()
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        g = random_graph(25, 70, seed=3)
+        snap = CSRSnapshot.freeze(g)
+        path = tmp_path / "snap.npz"
+        snap.save(path)
+        loaded = CSRSnapshot.load(path)
+        assert loaded == snap
+        assert loaded.thaw() == g
+
+    def test_equality_detects_difference(self):
+        a = CSRSnapshot.freeze(DynamicDiGraph(edges=[(0, 1)]))
+        b = CSRSnapshot.freeze(DynamicDiGraph(edges=[(1, 0)]))
+        assert a != b
+        assert a != 7
+
+    def test_repr(self):
+        snap = CSRSnapshot.freeze(DynamicDiGraph(edges=[(0, 1)]))
+        assert repr(snap) == "CSRSnapshot(n=2, m=1)"
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**5), n=st.integers(1, 25))
+def test_property_freeze_thaw_identity(seed, n):
+    g = random_graph(n, 3 * n, seed)
+    assert CSRSnapshot.freeze(g).thaw() == g

@@ -1,0 +1,110 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Model-based fuzzing of the two long-lived mutable structures: the
+incremental condensation and the IFCA engine. Hypothesis drives arbitrary
+interleavings of operations and shrinks failures to minimal traces.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.baselines.dbl import DBLMethod
+from repro.core.ifca import IFCA
+from repro.core.params import IFCAParams
+from repro.graph.dag import DynamicDAG
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import is_reachable_bfs
+
+VERTICES = st.integers(0, 9)
+
+
+class DagMachine(RuleBasedStateMachine):
+    """DynamicDAG under arbitrary update interleavings, checked against a
+    from-scratch recondensation after every step."""
+
+    def __init__(self):
+        super().__init__()
+        self.dag = DynamicDAG()
+
+    @rule(u=VERTICES, v=VERTICES)
+    def insert(self, u, v):
+        self.dag.insert_edge(u, v)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def delete(self, u, v):
+        self.dag.delete_edge(u, v)
+
+    @rule(v=VERTICES)
+    def add_vertex(self, v):
+        self.dag.add_vertex(v)
+
+    @invariant()
+    def consistent_with_scratch(self):
+        self.dag.check_consistency()
+
+
+class IfcaMachine(RuleBasedStateMachine):
+    """A long-lived IFCA engine under interleaved updates and queries,
+    refereed by the BFS oracle on a shadow graph."""
+
+    def __init__(self):
+        super().__init__()
+        self.graph = DynamicDiGraph(vertices=range(10))
+        self.engine = IFCA(self.graph)
+        self.contract_engine = IFCA(
+            self.graph, IFCAParams(use_cost_model=False, max_rounds=200)
+        )
+        self.shadow = self.graph.copy()
+
+    @rule(u=VERTICES, v=VERTICES)
+    def insert(self, u, v):
+        if u != v:
+            self.engine.insert_edge(u, v)
+            self.shadow.add_edge(u, v)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def delete(self, u, v):
+        self.engine.delete_edge(u, v)
+        self.shadow.remove_edge(u, v)
+
+    @rule(s=VERTICES, t=VERTICES)
+    def query(self, s, t):
+        expected = is_reachable_bfs(self.shadow, s, t)
+        assert self.engine.is_reachable(s, t) == expected
+        assert self.contract_engine.is_reachable(s, t) == expected
+
+
+class DblMachine(RuleBasedStateMachine):
+    """DBL's monotone labels under arbitrary insert streams."""
+
+    def __init__(self):
+        super().__init__()
+        self.method = DBLMethod(DynamicDiGraph(vertices=range(8)), num_landmarks=3)
+        self.shadow = DynamicDiGraph(vertices=range(8))
+
+    @rule(u=VERTICES.filter(lambda x: x < 8), v=VERTICES.filter(lambda x: x < 8))
+    def insert(self, u, v):
+        if u != v:
+            self.method.insert_edge(u, v)
+            self.shadow.add_edge(u, v)
+
+    @rule(s=VERTICES.filter(lambda x: x < 8), t=VERTICES.filter(lambda x: x < 8))
+    def query(self, s, t):
+        assert self.method.query(s, t) == is_reachable_bfs(self.shadow, s, t)
+
+
+TestDagMachine = DagMachine.TestCase
+TestDagMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestIfcaMachine = IfcaMachine.TestCase
+TestIfcaMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+TestDblMachine = DblMachine.TestCase
+TestDblMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,103 @@
+"""Tests for query generation and accuracy metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import is_reachable_bfs
+from repro.workloads.precision import accuracy, confusion_counts, precision_recall
+from repro.workloads.queries import (
+    generate_queries,
+    label_queries,
+    split_by_sign,
+)
+
+from tests.conftest import random_graph
+
+
+class TestQueryGeneration:
+    def test_paper_protocol_constraints(self):
+        g = random_graph(30, 60, seed=1)
+        queries = generate_queries(g, 100, seed=2)
+        assert len(queries) == 100
+        for s, t in queries:
+            assert s != t
+            assert g.out_degree(s) > 0
+            assert g.in_degree(t) > 0
+
+    def test_deterministic_with_seed(self):
+        g = random_graph(20, 40, seed=3)
+        assert generate_queries(g, 20, seed=9) == generate_queries(g, 20, seed=9)
+
+    def test_empty_pools(self):
+        g = DynamicDiGraph(vertices=[0, 1, 2])  # no edges at all
+        assert generate_queries(g, 10, seed=0) == []
+
+    def test_single_edge_graph(self):
+        g = DynamicDiGraph(edges=[(0, 1)])
+        queries = generate_queries(g, 5, seed=0)
+        assert all(q == (0, 1) for q in queries)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_queries(DynamicDiGraph(), -1)
+
+
+class TestLabeling:
+    def test_ground_truth_matches_oracle(self):
+        g = random_graph(25, 50, seed=5)
+        batch = label_queries(g, generate_queries(g, 40, seed=6))
+        for (s, t), expected in zip(batch.queries, batch.ground_truth):
+            assert expected == is_reachable_bfs(g, s, t)
+
+    def test_negative_fraction(self):
+        g = DynamicDiGraph(edges=[(0, 1), (2, 3)])
+        batch = label_queries(g, [(0, 1), (0, 3)])
+        assert batch.negative_fraction == pytest.approx(0.5)
+
+    def test_negative_fraction_empty(self):
+        g = DynamicDiGraph(edges=[(0, 1)])
+        assert label_queries(g, []).negative_fraction == 0.0
+
+    def test_split_by_sign(self):
+        g = DynamicDiGraph(edges=[(0, 1), (2, 3)])
+        batch = label_queries(g, [(0, 1), (0, 3), (2, 3)])
+        positive, negative = split_by_sign(batch)
+        assert positive == [(0, 1), (2, 3)]
+        assert negative == [(0, 3)]
+
+
+class TestMetrics:
+    def test_confusion(self):
+        answers = [True, True, False, False]
+        truth = [True, False, False, True]
+        assert confusion_counts(answers, truth) == (1, 1, 1, 1)
+
+    def test_confusion_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts([True], [])
+
+    def test_accuracy(self):
+        assert accuracy([True, False], [True, True]) == pytest.approx(0.5)
+        assert accuracy([], []) == 1.0
+
+    def test_precision_recall(self):
+        answers = [True, True, False]
+        truth = [True, False, True]
+        precision, recall = precision_recall(answers, truth)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+
+    def test_precision_recall_degenerate(self):
+        assert precision_recall([False], [False]) == (1.0, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**5), count=st.integers(0, 30))
+def test_property_generated_queries_valid(seed, count):
+    g = random_graph(15, 30, seed)
+    for s, t in generate_queries(g, count, seed=seed):
+        assert s != t
+        assert g.out_degree(s) > 0
+        assert g.in_degree(t) > 0
