@@ -36,6 +36,7 @@ from repro.baselines import (
     TOLMethod,
     bibfs_is_reachable,
 )
+from repro.service import QueryOutcome, ReachabilityService
 
 __version__ = "1.0.0"
 
@@ -54,5 +55,7 @@ __all__ = [
     "IPMethod",
     "DaggerMethod",
     "DBLMethod",
+    "QueryOutcome",
+    "ReachabilityService",
     "__version__",
 ]

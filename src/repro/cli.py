@@ -6,6 +6,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro stats GRAPH.txt
     python -m repro generate sbm --block-size 100 --degree 5 OUT.txt
     python -m repro compare EN [--max-updates 250]
+    python -m repro serve-bench GRAPH.txt [--ops 2000 --query-ratio 0.9]
     python -m repro reproduce [--quick] [--out results]
     python -m repro report [--markdown]
     python -m repro calibrate-lambda
@@ -118,6 +119,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.set_defaults(func=cmd_report)
 
+    sb = sub.add_parser(
+        "serve-bench",
+        help="closed-loop throughput run of the query-serving engine",
+    )
+    sb.add_argument("graph", help="edge-list file with the initial snapshot")
+    sb.add_argument(
+        "--workload",
+        help="mixed workload file (Q|I|D u v lines); generated when omitted",
+    )
+    sb.add_argument(
+        "--save-workload", help="write the (generated) workload to this file"
+    )
+    sb.add_argument("--ops", type=int, default=2000, help="operations to generate")
+    sb.add_argument("--query-ratio", type=float, default=0.9)
+    sb.add_argument("--skew", type=float, default=1.0, help="endpoint zipf skew")
+    sb.add_argument(
+        "--pair-pool",
+        type=int,
+        default=None,
+        help="repeat whole query pairs from a hot pool of this size",
+    )
+    sb.add_argument("--workers", type=int, default=4)
+    sb.add_argument("--cache-size", type=int, default=4096)
+    sb.add_argument("--supportive", type=int, default=4)
+    sb.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query deadline; expired queries degrade instead of blocking",
+    )
+    sb.add_argument("--seed", type=int, default=0)
+    sb.set_defaults(func=cmd_serve_bench)
+
     rep = sub.add_parser(
         "reproduce",
         help="run the paper's full evaluation and save all records",
@@ -211,6 +245,56 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.dataset} analog",
         )
     )
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.service import ReachabilityService, format_stats_table
+    from repro.service.driver import replay_workload
+    from repro.workloads.mixed import (
+        generate_mixed_workload,
+        load_workload,
+        save_workload,
+        workload_mix,
+    )
+
+    graph = read_edge_list(args.graph)
+    if args.workload:
+        ops = load_workload(args.workload)
+    else:
+        ops = generate_mixed_workload(
+            graph,
+            args.ops,
+            query_ratio=args.query_ratio,
+            skew=args.skew,
+            pair_pool=args.pair_pool,
+            seed=args.seed,
+        )
+    if args.save_workload:
+        save_workload(ops, args.save_workload)
+    queries, inserts, deletes = workload_mix(ops)
+    print(
+        f"replaying {len(ops)} ops ({queries} queries, {inserts} inserts, "
+        f"{deletes} deletes) on n={graph.num_vertices} m={graph.num_edges} "
+        f"with {args.workers} workers"
+    )
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    with ReachabilityService(
+        graph,
+        num_workers=args.workers,
+        cache_capacity=args.cache_size,
+        num_supportive=args.supportive,
+        seed=args.seed,
+        deadline_s=deadline_s,
+    ) as service:
+        result = replay_workload(service, ops, deadline_s=deadline_s)
+        row = result.summary_row()
+        print(
+            f"\n{row['qps']:.0f} queries/s over {result.wall_seconds:.3f}s wall "
+            f"({result.ops_per_second:.0f} ops/s); "
+            f"{row['no_search_rate']:.1%} answered without full search\n"
+        )
+        print(format_stats_table(service.stats()))
     return 0
 
 

@@ -27,7 +27,7 @@ class DynamicDiGraph:
     (backward push, reverse BFS) cost the same as forward ones.
     """
 
-    __slots__ = ("_out", "_in", "_num_edges", "_edge_set")
+    __slots__ = ("_out", "_in", "_num_edges", "_edge_set", "_version")
 
     def __init__(
         self,
@@ -38,6 +38,7 @@ class DynamicDiGraph:
         self._in: Dict[int, List[int]] = {}
         self._edge_set: Set[Tuple[int, int]] = set()
         self._num_edges = 0
+        self._version = 0
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -57,6 +58,18 @@ class DynamicDiGraph:
     def num_edges(self) -> int:
         """The number of directed edges currently in the graph (``m``)."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """A monotonic epoch counter, bumped on every effective mutation.
+
+        No-op mutations (adding an existing vertex/edge, removing a missing
+        one) leave it unchanged, so ``version`` identifies a snapshot: two
+        reads of the same graph with equal versions saw identical edge
+        sets. Consumers (the service cache, the fast-path pruner) stamp
+        derived state with the version it was computed at.
+        """
+        return self._version
 
     @property
     def average_degree(self) -> float:
@@ -88,6 +101,7 @@ class DynamicDiGraph:
         if v not in self._out:
             self._out[v] = []
             self._in[v] = []
+            self._version += 1
 
     def add_edge(self, u: int, v: int) -> bool:
         """Insert the directed edge ``(u, v)``.
@@ -104,6 +118,7 @@ class DynamicDiGraph:
         self._in[v].append(u)
         self._edge_set.add((u, v))
         self._num_edges += 1
+        self._version += 1
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -118,6 +133,7 @@ class DynamicDiGraph:
         self._swap_remove(self._out[u], v)
         self._swap_remove(self._in[v], u)
         self._num_edges -= 1
+        self._version += 1
         return True
 
     def remove_vertex(self, v: int) -> bool:
@@ -130,6 +146,7 @@ class DynamicDiGraph:
             self.remove_edge(w, v)
         del self._out[v]
         del self._in[v]
+        self._version += 1
         return True
 
     @staticmethod

@@ -1,0 +1,27 @@
+"""The concurrent reachability query-serving engine.
+
+A serving front-end around the exact IFCA engine: O'Reach-style O(1)
+fast-path observations, a version-stamped LRU result cache with
+update-aware invalidation, a worker pool with per-query deadlines and
+graceful degradation, and a stats surface. See ``docs/service.md``.
+"""
+
+from repro.service.cache import VersionedQueryCache
+from repro.service.concurrency import RWLock
+from repro.service.driver import ReplayResult, replay_workload
+from repro.service.engine import QueryOutcome, ReachabilityService
+from repro.service.fastpath import FastPathPruner, UpdateEffect
+from repro.service.stats import ServiceStats, format_stats_table
+
+__all__ = [
+    "FastPathPruner",
+    "QueryOutcome",
+    "RWLock",
+    "ReachabilityService",
+    "ReplayResult",
+    "ServiceStats",
+    "UpdateEffect",
+    "VersionedQueryCache",
+    "format_stats_table",
+    "replay_workload",
+]

@@ -1,0 +1,113 @@
+"""Version-stamped LRU result cache with monotone invalidation barriers.
+
+Reachability answers age asymmetrically under updates (the insight DBL
+exploits for its dynamic labels): an edge *insertion* can only add paths,
+so cached ``True`` answers survive it; an edge *deletion* can only remove
+paths, so cached ``False`` answers survive it. Further, an update that
+leaves the SCC condensation untouched (an edge inside a surviving SCC, a
+parallel inter-SCC edge) changes **no** reachability answer at all.
+
+Instead of scanning entries on update, the cache keeps two watermark
+versions fed by the service's update routing:
+
+* ``neg_barrier`` — graph version of the last *reachability-adding*
+  mutation. A cached ``False`` stamped before it may have become stale.
+* ``pos_barrier`` — graph version of the last *reachability-removing*
+  mutation. A cached ``True`` stamped before it may have become stale.
+
+Validity is then an O(1) comparison at lookup time, and stale entries are
+evicted lazily when touched.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+Key = Tuple[int, int]
+
+
+class VersionedQueryCache:
+    """An LRU cache of ``(source, target) -> (answer, version)`` entries."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Key, Tuple[bool, int]]" = OrderedDict()
+        self._neg_barrier = 0
+        self._pos_barrier = 0
+        self.hits = 0
+        self.misses = 0
+        self.stale_evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- invalidation --------------------------------------------------
+    def note_update(
+        self, version: int, *, adds_reachability: bool, removes_reachability: bool
+    ) -> None:
+        """Advance the barriers for a mutation that produced ``version``.
+
+        Entries stamped with a version >= the barrier were computed on a
+        graph that already included the mutation, so they stay valid.
+        """
+        with self._lock:
+            if adds_reachability:
+                self._neg_barrier = max(self._neg_barrier, version)
+            if removes_reachability:
+                self._pos_barrier = max(self._pos_barrier, version)
+
+    def invalidate_all(self, version: int) -> None:
+        """Coarse epoch invalidation: distrust everything older than now."""
+        self.note_update(
+            version, adds_reachability=True, removes_reachability=True
+        )
+
+    def _valid(self, answer: bool, version: int) -> bool:
+        barrier = self._pos_barrier if answer else self._neg_barrier
+        return version >= barrier
+
+    # -- lookup / store ------------------------------------------------
+    def get(self, source: int, target: int) -> Optional[bool]:
+        key = (source, target)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            answer, version = entry
+            if not self._valid(answer, version):
+                del self._entries[key]
+                self.stale_evictions += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return answer
+
+    def put(self, source: int, target: int, answer: bool, version: int) -> None:
+        with self._lock:
+            if not self._valid(answer, version):
+                return  # raced with an update; do not cache a stale answer
+            key = (source, target)
+            self._entries[key] = (answer, version)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    # -- introspection (tests, stats) ----------------------------------
+    @property
+    def barriers(self) -> Tuple[int, int]:
+        """(neg_barrier, pos_barrier) — versions entries must meet."""
+        with self._lock:
+            return (self._neg_barrier, self._pos_barrier)
+
+    def peek(self, source: int, target: int) -> Optional[Tuple[bool, int]]:
+        """The raw entry without touching LRU order or counters."""
+        with self._lock:
+            return self._entries.get((source, target))

@@ -1,0 +1,119 @@
+"""Closed-loop workload replay against a :class:`ReachabilityService`.
+
+The driver walks one interleaved operation stream (see
+:mod:`repro.workloads.mixed`): updates are applied in stream order from
+the driving thread, queries are fanned out to the service's worker pool
+in flight-window-sized bursts and joined before the next update — the
+closed-loop discipline keeps every query's snapshot well-defined while
+still exercising genuine thread concurrency between queries.
+
+Used by both ``python -m repro serve-bench`` and
+``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.engine import QueryOutcome, ReachabilityService
+from repro.workloads.mixed import DELETE, INSERT, Op
+
+
+@dataclass
+class ReplayResult:
+    """What one closed-loop run did and how fast."""
+
+    num_queries: int
+    num_updates: int
+    wall_seconds: float
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ops_per_second(self) -> float:
+        total = self.num_queries + self.num_updates
+        return total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        return (
+            self.num_queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+
+    def summary_row(self) -> Dict[str, object]:
+        """One flat row for result tables / ExperimentRecords."""
+        counters: Dict[str, int] = self.stats.get("counters", {})  # type: ignore[assignment]
+        derived: Dict[str, float] = self.stats.get("derived", {})  # type: ignore[assignment]
+        confident = sum(1 for o in self.outcomes if o.confident)
+        return {
+            "queries": self.num_queries,
+            "updates": self.num_updates,
+            "wall_s": round(self.wall_seconds, 4),
+            "qps": round(self.queries_per_second, 1),
+            "fastpath_rate": round(derived.get("fastpath_rate", 0.0), 4),
+            "cache_hit_rate": round(derived.get("cache_hit_rate", 0.0), 4),
+            "no_search_rate": round(derived.get("no_search_rate", 0.0), 4),
+            "degraded": counters.get("degraded", 0),
+            "confident_fraction": (
+                round(confident / len(self.outcomes), 4) if self.outcomes else 1.0
+            ),
+        }
+
+
+def replay_workload(
+    service: ReachabilityService,
+    ops: Sequence[Op],
+    *,
+    flight_window: int = 32,
+    deadline_s: Optional[float] = None,
+    collect_outcomes: bool = True,
+) -> ReplayResult:
+    """Drive the stream through the service; returns timing + stats.
+
+    ``flight_window`` bounds how many queries may be in flight at once;
+    an update op acts as a barrier (it must serialize anyway, since it
+    takes the write lock).
+    """
+    in_flight: List[Tuple[int, "object"]] = []
+    outcomes: List[Optional[QueryOutcome]] = (
+        [None] * sum(1 for op in ops if op.is_query) if collect_outcomes else []
+    )
+    num_queries = 0
+    num_updates = 0
+
+    def drain() -> None:
+        for slot, future in in_flight:
+            outcome = future.result()
+            if collect_outcomes:
+                outcomes[slot] = outcome
+        in_flight.clear()
+
+    start = time.perf_counter()
+    query_index = 0
+    for op in ops:
+        if op.is_query:
+            future = service.submit(op.u, op.v, deadline_s)
+            in_flight.append((query_index, future))
+            query_index += 1
+            num_queries += 1
+            if len(in_flight) >= flight_window:
+                drain()
+        else:
+            drain()
+            if op.kind == INSERT:
+                service.add_edge(op.u, op.v)
+            elif op.kind == DELETE:
+                service.remove_edge(op.u, op.v)
+            num_updates += 1
+    drain()
+    wall = time.perf_counter() - start
+
+    return ReplayResult(
+        num_queries=num_queries,
+        num_updates=num_updates,
+        wall_seconds=wall,
+        outcomes=[o for o in outcomes if o is not None],
+        stats=service.stats(),
+    )

@@ -1,0 +1,373 @@
+"""The concurrent reachability query-serving engine.
+
+:class:`ReachabilityService` wraps one :class:`DynamicDiGraph` plus an
+exact reachability method (IFCA by default) behind a staged serving
+pipeline:
+
+1. **fast path** — O(1) observations (:mod:`repro.service.fastpath`);
+2. **cache** — version-stamped LRU lookups (:mod:`repro.service.cache`);
+3. **engine** — the full exact search, whose answer is cached;
+4. **degraded** — when a per-query deadline has already expired while the
+   query waited, a budget-bounded bidirectional search runs instead of the
+   full engine. If it completes inside the budget (a meet, or a frontier
+   exhausted) the answer is still exact; only a budget overrun returns the
+   approximate best guess with ``confident=False``.
+
+Consistency model: every query observes one frozen snapshot. Workers hold
+a shared read lock for the whole pipeline; updates take the write lock,
+mutate the graph (bumping its version), repair the pruner's structure, and
+advance the cache's invalidation barriers. The version recorded in each
+:class:`QueryOutcome` identifies exactly which snapshot answered it, which
+the stress tests exploit to replay a BFS oracle per answered version.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from repro.baselines.base import ReachabilityMethod
+from repro.core.ifca import IFCAMethod
+from repro.graph.digraph import DynamicDiGraph
+from repro.service.cache import VersionedQueryCache
+from repro.service.concurrency import RWLock
+from repro.service.fastpath import FastPathPruner, UpdateEffect
+from repro.service.stats import ServiceStats
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One served query: the answer plus full provenance."""
+
+    source: int
+    target: int
+    answer: bool
+    #: ``True`` for exact answers (fast path, cache, engine, or a degraded
+    #: run that still *proved* its answer); ``False`` only for the
+    #: best-effort guess a blown deadline degrades to.
+    confident: bool
+    #: Which stage produced the answer:
+    #: ``"fastpath" | "cache" | "engine" | "degraded"``.
+    via: str
+    #: Graph version of the snapshot the answer is exact for.
+    version: int
+    #: Stage detail (fast-path rule name, engine termination reason, ...).
+    detail: str = ""
+
+
+class ReachabilityService:
+    """A thread-safe serving front-end over one dynamic graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve; an empty one is created when omitted. All
+        subsequent updates must go through the service.
+    method_factory:
+        Builds the exact engine from the graph (default ``IFCAMethod``).
+    num_workers:
+        Worker threads backing :meth:`submit` / :meth:`query_batch`.
+    cache_capacity, num_supportive, seed, rebuild_cooldown:
+        Tuning for the cache and fast-path stages.
+    deadline_s:
+        Default per-query deadline (``None`` = never degrade). Measured
+        from submission, checked when a worker picks the query up.
+    degrade_budget:
+        Edge-access budget of the degraded bounded search.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[DynamicDiGraph] = None,
+        method_factory: Optional[
+            Callable[[DynamicDiGraph], ReachabilityMethod]
+        ] = None,
+        *,
+        num_workers: int = 4,
+        cache_capacity: int = 4096,
+        num_supportive: int = 4,
+        seed: int = 0,
+        rebuild_cooldown: int = 32,
+        deadline_s: Optional[float] = None,
+        degrade_budget: int = 2048,
+    ) -> None:
+        self.graph = graph if graph is not None else DynamicDiGraph()
+        factory = method_factory if method_factory is not None else IFCAMethod
+        self.method = factory(self.graph)
+        self.deadline_s = deadline_s
+        self.degrade_budget = degrade_budget
+        self._lock = RWLock()
+        self._pruner = FastPathPruner(
+            self.graph,
+            num_supportive=num_supportive,
+            seed=seed,
+            rebuild_cooldown=rebuild_cooldown,
+        )
+        self._cache = VersionedQueryCache(cache_capacity)
+        self._stats = ServiceStats()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._num_workers = max(1, num_workers)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    def _executor(self) -> ThreadPoolExecutor:
+        self._check_open()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._num_workers,
+                thread_name_prefix="reach-serve",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Drain in-flight work and release the worker threads."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ReachabilityService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Updates (exclusive)
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> UpdateEffect:
+        """Route an edge insertion through the service."""
+        self._check_open()
+        start = time.perf_counter()
+        with self._lock.write:
+            effect = self._pruner.apply_insert(u, v)
+            self._note_update(effect, "inserts")
+        self._stats.observe_latency("update", time.perf_counter() - start)
+        return effect
+
+    def remove_edge(self, u: int, v: int) -> UpdateEffect:
+        """Route an edge deletion through the service."""
+        self._check_open()
+        start = time.perf_counter()
+        with self._lock.write:
+            effect = self._pruner.apply_delete(u, v)
+            self._note_update(effect, "deletes")
+        self._stats.observe_latency("update", time.perf_counter() - start)
+        return effect
+
+    def add_vertex(self, v: int) -> UpdateEffect:
+        self._check_open()
+        with self._lock.write:
+            effect = self._pruner.add_vertex(v)
+            self._note_update(effect, "vertex_adds")
+        return effect
+
+    def _note_update(self, effect: UpdateEffect, kind: str) -> None:
+        self._stats.incr(f"updates_{kind}")
+        if not effect.changed:
+            return
+        if effect.adds_reachability or effect.removes_reachability:
+            self._cache.note_update(
+                effect.version,
+                adds_reachability=effect.adds_reachability,
+                removes_reachability=effect.removes_reachability,
+            )
+            self._stats.incr("cache_invalidations")
+        else:
+            self._stats.incr("neutral_updates")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self, source: int, target: int, deadline_s: Optional[float] = None
+    ) -> QueryOutcome:
+        """Serve one query synchronously on the calling thread."""
+        self._check_open()
+        deadline_s = self.deadline_s if deadline_s is None else deadline_s
+        deadline = (
+            time.perf_counter() + deadline_s if deadline_s is not None else None
+        )
+        return self._serve(source, target, deadline)
+
+    def submit(
+        self, source: int, target: int, deadline_s: Optional[float] = None
+    ) -> "Future[QueryOutcome]":
+        """Queue one query on the worker pool; returns a future."""
+        deadline_s = self.deadline_s if deadline_s is None else deadline_s
+        deadline = (
+            time.perf_counter() + deadline_s if deadline_s is not None else None
+        )
+        return self._executor().submit(self._serve, source, target, deadline)
+
+    def query_batch(
+        self,
+        queries: Sequence[Tuple[int, int]],
+        deadline_s: Optional[float] = None,
+    ) -> List[QueryOutcome]:
+        """Serve a batch through the pool, deduplicating repeated pairs.
+
+        Skewed traffic repeats pairs heavily; each distinct pair is
+        scheduled once and its outcome fanned back out in order.
+        """
+        distinct: Dict[Tuple[int, int], "Future[QueryOutcome]"] = {}
+        for s, t in queries:
+            if (s, t) not in distinct:
+                distinct[(s, t)] = self.submit(s, t, deadline_s)
+        self._stats.incr("batched_dedup", len(queries) - len(distinct))
+        return [distinct[(s, t)].result() for s, t in queries]
+
+    # ------------------------------------------------------------------
+    # The staged pipeline (runs under the read lock)
+    # ------------------------------------------------------------------
+    def _serve(
+        self, source: int, target: int, deadline: Optional[float]
+    ) -> QueryOutcome:
+        self._stats.incr("queries")
+        with self._lock.read:
+            version = self.graph.version
+            self._pruner.observe_query()
+
+            start = time.perf_counter()
+            observed = self._pruner.check(source, target)
+            self._stats.observe_latency("fastpath", time.perf_counter() - start)
+            if observed is not None:
+                answer, rule = observed
+                self._stats.fastpath_hit(rule)
+                return QueryOutcome(
+                    source, target, answer, True, "fastpath", version, rule
+                )
+
+            start = time.perf_counter()
+            cached = self._cache.get(source, target)
+            self._stats.observe_latency("cache", time.perf_counter() - start)
+            if cached is not None:
+                self._stats.incr("cache_hits")
+                return QueryOutcome(
+                    source, target, cached, True, "cache", version
+                )
+            self._stats.incr("cache_misses")
+
+            if deadline is not None and time.perf_counter() > deadline:
+                return self._degraded(source, target, version)
+
+            start = time.perf_counter()
+            answer, detail = self._run_engine(source, target)
+            self._stats.observe_latency("engine", time.perf_counter() - start)
+            self._stats.incr("engine_calls")
+            self._cache.put(source, target, answer, version)
+            return QueryOutcome(
+                source, target, answer, True, "engine", version, detail
+            )
+
+    def _run_engine(self, source: int, target: int) -> Tuple[bool, str]:
+        engine = getattr(self.method, "engine", None)
+        if engine is not None and hasattr(engine, "query_with_stats"):
+            answer, qstats = engine.query_with_stats(source, target)
+            return answer, qstats.terminated_by
+        return self.method.query(source, target), ""
+
+    def _degraded(self, source: int, target: int, version: int) -> QueryOutcome:
+        """Deadline blown before the search started: answer cheaply.
+
+        A frontier-balanced bidirectional BFS runs with a hard edge-access
+        budget. A meet proves ``True`` and an exhausted frontier proves
+        ``False`` (both still confident); hitting the budget returns the
+        best-effort ``False`` flagged ``confident=False``. The answer is
+        cached only when it is exact.
+        """
+        start = time.perf_counter()
+        self._stats.incr("degraded")
+        answer, confident, detail = _bounded_bibfs(
+            self.graph, source, target, self.degrade_budget
+        )
+        if confident:
+            self._cache.put(source, target, answer, version)
+        self._stats.observe_latency("degraded", time.perf_counter() - start)
+        return QueryOutcome(
+            source, target, answer, confident, "degraded", version, detail
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """A coherent snapshot of counters, rates, and stage latencies."""
+        snapshot = self._stats.snapshot()
+        counters = snapshot["counters"]
+        counters["cache_size"] = len(self._cache)  # type: ignore[index]
+        counters["cache_stale_evictions"] = (  # type: ignore[index]
+            self._cache.stale_evictions
+        )
+        counters["sample_rebuilds"] = (  # type: ignore[index]
+            self._pruner.sample_rebuilds
+        )
+        snapshot["graph"] = {
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "version": self.graph.version,
+        }
+        return snapshot
+
+    @property
+    def pruner(self) -> FastPathPruner:
+        return self._pruner
+
+    @property
+    def cache(self) -> VersionedQueryCache:
+        return self._cache
+
+
+def _bounded_bibfs(
+    graph: DynamicDiGraph,
+    source: int,
+    target: int,
+    budget: int,
+) -> Tuple[bool, bool, str]:
+    """Bidirectional BFS that stops after ``budget`` edge accesses.
+
+    Returns ``(answer, exact, detail)``. Expands the smaller frontier
+    first (the engine's own BiBFS discipline), so short positive paths and
+    small reachable sets resolve exactly within tiny budgets.
+    """
+    if source == target:
+        return True, True, "identity"
+    if source not in graph or target not in graph:
+        return False, True, "missing-endpoint"
+    fwd_seen = {source}
+    rev_seen = {target}
+    fwd_frontier = deque([source])
+    rev_frontier = deque([target])
+    accesses = 0
+    while fwd_frontier and rev_frontier:
+        forward = len(fwd_frontier) <= len(rev_frontier)
+        frontier = fwd_frontier if forward else rev_frontier
+        seen = fwd_seen if forward else rev_seen
+        other = rev_seen if forward else fwd_seen
+        next_frontier: deque = deque()
+        while frontier:
+            v = frontier.popleft()
+            for w in graph.neighbors(v, forward):
+                accesses += 1
+                if w in other:
+                    return True, True, "meet"
+                if w not in seen:
+                    seen.add(w)
+                    next_frontier.append(w)
+            if accesses > budget:
+                return False, False, "budget-exhausted"
+        if forward:
+            fwd_frontier = next_frontier
+        else:
+            rev_frontier = next_frontier
+    return False, True, "frontier-exhausted"

@@ -1,0 +1,350 @@
+"""Constant-time query observations, in the style of O'Reach.
+
+O'Reach (Hanauer, Schulz, Trummer) shows that on real workloads the vast
+majority of reachability queries can be decided by a handful of O(1)
+"observations" computed from cheap auxiliary structure, before any search
+starts. This module adapts that idea to the *dynamic* setting by anchoring
+every observation in structure the repo can maintain incrementally:
+
+1. **Trivial tests** — ``s == t``, missing endpoints, ``d_out(s) == 0``,
+   ``d_in(t) == 0``. Stateless, always available.
+2. **SCC membership** — a :class:`~repro.graph.dag.DynamicDAG` keeps the
+   condensation consistent under both insertions (merges) and deletions
+   (splits); two vertices in the same SCC are mutually reachable.
+3. **Topological levels** — each condensation component carries a level
+   such that every DAG edge strictly increases it. Any path therefore
+   strictly increases levels, so ``level(scc(s)) >= level(scc(t))`` (with
+   distinct SCCs) refutes reachability in O(1). Levels are repaired
+   incrementally: raised along out-edges on insertion, reassigned locally
+   on SCC merge/split, untouched by deletions (removing edges cannot
+   violate the invariant).
+4. **Supportive vertices** — ``k`` sampled vertices with materialized
+   forward/backward reachable sets ``F(x)`` / ``B(x)``. They prove
+   positives (``s ∈ B(x) ∧ t ∈ F(x)``) and refute negatives
+   (``s ∈ F(x) ∧ t ∉ F(x)``, or ``t ∈ B(x) ∧ s ∉ B(x)``). Insertions
+   extend the sets exactly (a new edge only ever adds vertices, found by a
+   BFS from its head); reachability-removing deletions invalidate them,
+   and a cooldown-limited lazy rebuild restores them off the update path.
+
+Every observation is *exact* for the version it was computed at; the
+pruner never returns an answer that could disagree with a full search on
+the same snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.dag import DynamicDAG
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import bfs_reachable, reverse_bfs_reachable
+
+
+@dataclass(frozen=True)
+class UpdateEffect:
+    """What one routed update did to reachability, for cache invalidation.
+
+    ``adds_reachability`` / ``removes_reachability`` are conservative but
+    condensation-aware: an update that provably changed no reachable pair
+    (an edge inside a surviving SCC, a parallel inter-SCC edge, a pure
+    no-op) reports neither flag, so downstream caches keep everything.
+    """
+
+    changed: bool
+    adds_reachability: bool
+    removes_reachability: bool
+    version: int
+
+
+class _SampleSets:
+    """Immutable-by-convention holder for the supportive-vertex sets.
+
+    Readers grab one reference and use it without locking; the pruner
+    swaps in a freshly built holder atomically on rebuild. ``valid`` flips
+    False (the only in-place mutation readers can observe) when a deletion
+    makes the sets untrustworthy — a half-read stale holder is therefore
+    never *used*, only skipped.
+    """
+
+    __slots__ = ("vertices", "fwd", "bwd", "valid")
+
+    def __init__(
+        self,
+        vertices: List[int],
+        fwd: Dict[int, Set[int]],
+        bwd: Dict[int, Set[int]],
+    ) -> None:
+        self.vertices = vertices
+        self.fwd = fwd
+        self.bwd = bwd
+        self.valid = True
+
+
+def _choose_supportive(
+    graph: DynamicDiGraph, count: int, rng: random.Random
+) -> List[int]:
+    """Half high-degree hubs (cover skewed traffic), half random (cover
+    the periphery); deterministic under a seeded rng."""
+    vertices = [v for v in graph.vertices() if graph.degree(v) > 0]
+    if not vertices or count <= 0:
+        return []
+    count = min(count, len(vertices))
+    by_degree = sorted(vertices, key=lambda v: (-graph.degree(v), v))
+    num_hubs = (count + 1) // 2
+    chosen = by_degree[:num_hubs]
+    rest = [v for v in vertices if v not in set(chosen)]
+    rng.shuffle(rest)
+    chosen.extend(rest[: count - len(chosen)])
+    return chosen
+
+
+class FastPathPruner:
+    """O(1) observations over incrementally maintained structure.
+
+    All updates to the underlying graph must flow through
+    :meth:`apply_insert` / :meth:`apply_delete` (the service guarantees
+    this); :meth:`check` may run concurrently from many reader threads.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        num_supportive: int = 4,
+        seed: int = 0,
+        rebuild_cooldown: int = 32,
+    ) -> None:
+        self.graph = graph
+        self.dag = DynamicDAG(graph)
+        self.num_supportive = num_supportive
+        self.rebuild_cooldown = rebuild_cooldown
+        self._rng = random.Random(seed)
+        self._level: Dict[int, int] = {}
+        self._rebuild_levels()
+        self._samples = self._build_samples()
+        self._rebuild_mutex = threading.Lock()
+        self._queries_since_invalid = 0
+        self.sample_rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Topological levels
+    # ------------------------------------------------------------------
+    def _rebuild_levels(self) -> None:
+        """Longest-path levels of the condensation via Kahn's algorithm."""
+        dag = self.dag.dag
+        level = {c: 0 for c in dag.vertices()}
+        indeg = {c: dag.in_degree(c) for c in dag.vertices()}
+        queue = deque(c for c, d in indeg.items() if d == 0)
+        while queue:
+            c = queue.popleft()
+            lc = level[c]
+            for w in dag.out_neighbors(c):
+                if level[w] <= lc:
+                    level[w] = lc + 1
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        self._level = level
+
+    def _raise_levels(self, start: int) -> None:
+        """Restore ``level[a] < level[b]`` for all DAG edges reachable from
+        ``start`` after its level increased (or it appeared)."""
+        dag = self.dag.dag
+        level = self._level
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            lx = level[x]
+            for w in dag.out_neighbors(x):
+                if level.get(w, 0) <= lx:
+                    level[w] = lx + 1
+                    stack.append(w)
+
+    # ------------------------------------------------------------------
+    # Update routing
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> UpdateEffect:
+        changed = v not in self.graph
+        self.dag.add_vertex(v)
+        if changed:
+            self._level[self.dag.component_of(v)] = 0
+        return UpdateEffect(changed, False, False, self.graph.version)
+
+    def apply_insert(self, u: int, v: int) -> UpdateEffect:
+        self.add_vertex(u)
+        self.add_vertex(v)
+        cu, cv = self.dag.component_of(u), self.dag.component_of(v)
+        dag_edge_existed = cu == cv or self.dag.dag.has_edge(cu, cv)
+
+        merges: List[Tuple[Set[int], int]] = []
+        self.dag.on_merge = lambda old, new: merges.append((old, new))
+        try:
+            changed = self.dag.insert_edge(u, v)
+        finally:
+            self.dag.on_merge = None
+
+        if not changed:
+            return UpdateEffect(False, False, False, self.graph.version)
+
+        level = self._level
+        if merges:
+            old_cids, new_cid = merges[0]
+            level[new_cid] = max(level.pop(c, 0) for c in old_cids)
+            self._raise_levels(new_cid)
+        elif not dag_edge_existed:
+            if level[cv] <= level[cu]:
+                level[cv] = level[cu] + 1
+                self._raise_levels(cv)
+
+        adds_reach = not dag_edge_existed  # condensation changed
+        if adds_reach:
+            self._extend_samples(u, v)
+        return UpdateEffect(True, adds_reach, False, self.graph.version)
+
+    def apply_delete(self, u: int, v: int) -> UpdateEffect:
+        if not self.graph.has_edge(u, v):
+            return UpdateEffect(False, False, False, self.graph.version)
+        cu, cv = self.dag.component_of(u), self.dag.component_of(v)
+
+        splits: List[Tuple[int, List[int]]] = []
+        self.dag.on_split = lambda old, new: splits.append((old, new))
+        try:
+            self.dag.delete_edge(u, v)
+        finally:
+            self.dag.on_split = None
+
+        level = self._level
+        if cu != cv:
+            # Inter-SCC edge: reachability changed only if the last
+            # parallel edge between the two components went away.
+            removes_reach = not self.dag.dag.has_edge(cu, cv)
+        elif splits:
+            old_cid, new_cids = splits[0]
+            old_level = level.pop(old_cid, 0)
+            # Tarjan emits sub-components sinks-first, so reversing gives
+            # a topological order; strictly increasing levels along it
+            # satisfy every intra-split DAG edge.
+            for offset, cid in enumerate(reversed(new_cids)):
+                level[cid] = old_level + offset
+            for cid in new_cids:
+                self._raise_levels(cid)
+            removes_reach = True
+        else:
+            removes_reach = False  # SCC survived: no reachable pair changed
+
+        if removes_reach:
+            self._invalidate_samples()
+        return UpdateEffect(True, False, removes_reach, self.graph.version)
+
+    # ------------------------------------------------------------------
+    # Supportive-vertex sets
+    # ------------------------------------------------------------------
+    def _build_samples(self) -> _SampleSets:
+        vertices = _choose_supportive(self.graph, self.num_supportive, self._rng)
+        fwd = {x: bfs_reachable(self.graph, x) for x in vertices}
+        bwd = {x: reverse_bfs_reachable(self.graph, x) for x in vertices}
+        return _SampleSets(vertices, fwd, bwd)
+
+    def _extend_samples(self, u: int, v: int) -> None:
+        """Exact incremental maintenance under the insertion ``(u, v)``
+        (already applied to the graph): sets only ever grow."""
+        holder = self._samples
+        if not holder.valid:
+            return
+        graph = self.graph
+        for x in holder.vertices:
+            fset = holder.fwd[x]
+            if u in fset and v not in fset:
+                queue = deque([v])
+                fset.add(v)
+                while queue:
+                    a = queue.popleft()
+                    for b in graph.out_neighbors(a):
+                        if b not in fset:
+                            fset.add(b)
+                            queue.append(b)
+            bset = holder.bwd[x]
+            if v in bset and u not in bset:
+                queue = deque([u])
+                bset.add(u)
+                while queue:
+                    a = queue.popleft()
+                    for b in graph.in_neighbors(a):
+                        if b not in bset:
+                            bset.add(b)
+                            queue.append(b)
+
+    def _invalidate_samples(self) -> None:
+        self._samples.valid = False
+        self._queries_since_invalid = 0
+
+    def rebuild_samples(self) -> None:
+        """Recompute the supportive sets for the current snapshot."""
+        self._samples = self._build_samples()
+        self.sample_rebuilds += 1
+
+    def observe_query(self) -> None:
+        """Cooldown-limited lazy rebuild, called once per served query.
+
+        Rebuilding costs ``k`` BFS traversals, so after a deletion storm
+        the pruner waits for ``rebuild_cooldown`` queries of demand before
+        paying it; meanwhile the sampled observations simply abstain.
+        The non-blocking mutex keeps concurrent readers from duplicating
+        the rebuild; the reference swap at the end is atomic.
+        """
+        if self._samples.valid:
+            return
+        self._queries_since_invalid += 1
+        if self._queries_since_invalid < self.rebuild_cooldown:
+            return
+        if not self._rebuild_mutex.acquire(blocking=False):
+            return
+        try:
+            if not self._samples.valid:
+                self.rebuild_samples()
+        finally:
+            self._rebuild_mutex.release()
+
+    # ------------------------------------------------------------------
+    # The observations
+    # ------------------------------------------------------------------
+    def check(self, source: int, target: int) -> Optional[Tuple[bool, str]]:
+        """Try every O(1) observation; ``None`` means "run the search"."""
+        if source == target:
+            return (True, "identity")
+        graph = self.graph
+        if source not in graph or target not in graph:
+            return (False, "missing-endpoint")
+        if graph.out_degree(source) == 0:
+            return (False, "source-sink")
+        if graph.in_degree(target) == 0:
+            return (False, "target-source")
+        cs = self.dag.scc_of[source]
+        ct = self.dag.scc_of[target]
+        if cs == ct:
+            return (True, "same-scc")
+        if self._level[cs] >= self._level[ct]:
+            return (False, "topo-level")
+        holder = self._samples
+        if holder.valid:
+            for x in holder.vertices:
+                fset = holder.fwd[x]
+                bset = holder.bwd[x]
+                if source in bset and target in fset:
+                    return (True, "supportive-bridge")
+                if source in fset and target not in fset:
+                    return (False, "supportive-forward")
+                if target in bset and source not in bset:
+                    return (False, "supportive-backward")
+        return None
+
+    @property
+    def samples_valid(self) -> bool:
+        return self._samples.valid
+
+    @property
+    def supportive_vertices(self) -> List[int]:
+        return list(self._samples.vertices)

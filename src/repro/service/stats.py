@@ -1,0 +1,170 @@
+"""The serving engine's observability surface.
+
+Counters answer "where were queries resolved?" (fast path, cache, engine,
+degraded), "what did updates cost the caches?" (invalidations, rebuilds),
+and per-stage latency histograms answer "where does time go?". Everything
+is cheap enough to leave on in production: one lock acquisition and a few
+integer increments per event.
+
+Histograms use power-of-two microsecond buckets, the standard trick for
+latency telemetry: fixed memory, no per-sample allocation, and quantiles
+recoverable to within a factor of two — plenty to spot a stage whose tail
+moved from microseconds to milliseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Pipeline stages tracked by the latency histograms.
+STAGES = ("fastpath", "cache", "engine", "degraded", "update")
+
+_BUCKETS = 40  # 2**40 us ~ 12.7 days; effectively unbounded
+
+
+def _bucket_of(seconds: float) -> int:
+    micros = int(seconds * 1e6)
+    bucket = 0
+    while micros > 0 and bucket < _BUCKETS - 1:
+        micros >>= 1
+        bucket += 1
+    return bucket
+
+
+class LatencyHistogram:
+    """Log-scale latency histogram; bucket ``i`` covers ``[2**(i-1), 2**i)`` us."""
+
+    __slots__ = ("counts", "total_seconds", "count")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * _BUCKETS
+        self.total_seconds = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[_bucket_of(seconds)] += 1
+        self.total_seconds += seconds
+        self.count += 1
+
+    def quantile_us(self, q: float) -> float:
+        """Upper bucket edge (microseconds) containing quantile ``q``."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return float(2 ** i)
+        return float(2 ** (_BUCKETS - 1))
+
+    @property
+    def mean_us(self) -> float:
+        return (self.total_seconds / self.count) * 1e6 if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean_us, 2),
+            "p50_us": self.quantile_us(0.50),
+            "p95_us": self.quantile_us(0.95),
+            "p99_us": self.quantile_us(0.99),
+        }
+
+
+class ServiceStats:
+    """Thread-safe counters + per-stage histograms for one service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._fastpath_rules: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {
+            stage: LatencyHistogram() for stage in STAGES
+        }
+
+    # -- recording -----------------------------------------------------
+    def incr(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def fastpath_hit(self, rule: str) -> None:
+        with self._lock:
+            self._counters["fastpath_hits"] = (
+                self._counters.get("fastpath_hits", 0) + 1
+            )
+            self._fastpath_rules[rule] = self._fastpath_rules.get(rule, 0) + 1
+
+    def observe_latency(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._histograms[stage].observe(seconds)
+
+    # -- reading -------------------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """One coherent view: counters, derived rates, stage latencies."""
+        with self._lock:
+            counters = dict(self._counters)
+            rules = dict(self._fastpath_rules)
+            latency = {
+                stage: hist.snapshot()
+                for stage, hist in self._histograms.items()
+                if hist.count
+            }
+        queries = counters.get("queries", 0)
+        fastpath = counters.get("fastpath_hits", 0)
+        cache_hits = counters.get("cache_hits", 0)
+        engine = counters.get("engine_calls", 0)
+        derived = {
+            "fastpath_rate": fastpath / queries if queries else 0.0,
+            "cache_hit_rate": cache_hits / queries if queries else 0.0,
+            "no_search_rate": (
+                (queries - engine - counters.get("degraded", 0)) / queries
+                if queries
+                else 0.0
+            ),
+        }
+        return {
+            "counters": counters,
+            "fastpath_rules": rules,
+            "derived": derived,
+            "latency": latency,
+        }
+
+
+def format_stats_table(snapshot: Dict[str, object]) -> str:
+    """Render a :meth:`ServiceStats.snapshot` as an aligned text table."""
+    lines: List[str] = []
+    counters: Dict[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+    derived: Dict[str, float] = snapshot.get("derived", {})  # type: ignore[assignment]
+    rules: Dict[str, int] = snapshot.get("fastpath_rules", {})  # type: ignore[assignment]
+    latency: Dict[str, Dict[str, float]] = snapshot.get("latency", {})  # type: ignore[assignment]
+
+    lines.append("counters")
+    for name in sorted(counters):
+        lines.append(f"  {name:<26} {counters[name]:>12}")
+    if rules:
+        lines.append("fast-path rules")
+        for name in sorted(rules):
+            lines.append(f"  {name:<26} {rules[name]:>12}")
+    if derived:
+        lines.append("rates")
+        for name in sorted(derived):
+            lines.append(f"  {name:<26} {derived[name]:>11.1%}")
+    if latency:
+        lines.append("latency (us)")
+        header = f"  {'stage':<12}{'count':>8}{'mean':>10}{'p50':>8}{'p95':>8}{'p99':>8}"
+        lines.append(header)
+        for stage in STAGES:
+            if stage not in latency:
+                continue
+            h = latency[stage]
+            lines.append(
+                f"  {stage:<12}{h['count']:>8}{h['mean_us']:>10.1f}"
+                f"{h['p50_us']:>8.0f}{h['p95_us']:>8.0f}{h['p99_us']:>8.0f}"
+            )
+    return "\n".join(lines)

@@ -6,14 +6,26 @@ from repro.workloads.queries import (
     label_queries,
     split_by_sign,
 )
+from repro.workloads.mixed import (
+    Op,
+    generate_mixed_workload,
+    load_workload,
+    save_workload,
+    workload_mix,
+)
 from repro.workloads.precision import accuracy, confusion_counts, precision_recall
 
 __all__ = [
+    "Op",
     "QueryBatch",
-    "generate_queries",
-    "label_queries",
-    "split_by_sign",
     "accuracy",
     "confusion_counts",
+    "generate_mixed_workload",
+    "generate_queries",
+    "label_queries",
+    "load_workload",
     "precision_recall",
+    "save_workload",
+    "split_by_sign",
+    "workload_mix",
 ]

@@ -144,3 +144,36 @@ class TestMoreCli:
     def test_report_empty_dir(self, tmp_path, capsys):
         assert main(["report", "--results-dir", str(tmp_path)]) == 0
         assert "no experiment records" in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_closed_loop_run(self, graph_file, capsys, tmp_path):
+        workload = tmp_path / "wl.txt"
+        code = main(
+            [
+                "serve-bench",
+                graph_file,
+                "--ops",
+                "120",
+                "--workers",
+                "2",
+                "--seed",
+                "3",
+                "--save-workload",
+                str(workload),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "counters" in out
+        assert workload.exists()
+        # The saved workload replays identically through --workload.
+        assert main(["serve-bench", graph_file, "--workload", str(workload)]) == 0
+
+    def test_deadline_flag(self, graph_file, capsys):
+        code = main(
+            ["serve-bench", graph_file, "--ops", "60", "--deadline-ms", "50"]
+        )
+        assert code == 0
+        assert "answered without full search" in capsys.readouterr().out

@@ -188,3 +188,51 @@ def test_property_mirror_against_edge_set(ops):
     for v in g.vertices():
         assert g.out_degree(v) == sum(1 for (a, _) in model if a == v)
         assert g.in_degree(v) == sum(1 for (_, b) in model if b == v)
+
+
+class TestVersionCounter:
+    def test_starts_at_zero(self):
+        assert DynamicDiGraph().version == 0
+
+    def test_every_effective_mutation_bumps(self):
+        g = DynamicDiGraph()
+        v = g.version
+        g.add_vertex(7)
+        assert g.version > v
+        v = g.version
+        g.add_edge(7, 8)  # new vertex 8 + new edge
+        assert g.version > v
+        v = g.version
+        g.remove_edge(7, 8)
+        assert g.version > v
+        v = g.version
+        g.remove_vertex(8)
+        assert g.version > v
+
+    def test_noops_do_not_bump(self):
+        g = DynamicDiGraph(edges=[(0, 1)])
+        v = g.version
+        g.add_vertex(0)
+        g.add_edge(0, 1)  # parallel edge rejected
+        g.remove_edge(1, 0)  # never existed
+        g.remove_vertex(99)  # never existed
+        assert g.version == v
+
+    def test_version_identifies_snapshot(self):
+        """Equal versions on one graph object imply equal edge sets, so
+        derived state stamped with a version can trust it."""
+        g = DynamicDiGraph(edges=[(0, 1)])
+        v = g.version
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        # Same edge set as at v, but a strictly newer version: consumers
+        # must see that *something* happened in between.
+        assert set(g.edges()) == {(0, 1)}
+        assert g.version > v
+
+    def test_copy_has_independent_version(self):
+        g = DynamicDiGraph(edges=[(0, 1)])
+        clone = g.copy()
+        v = clone.version
+        g.add_edge(1, 2)
+        assert clone.version == v

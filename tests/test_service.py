@@ -1,0 +1,449 @@
+"""Tests for the query-serving engine (`repro.service`).
+
+Covers each pipeline stage in isolation (fast-path observations, the
+versioned cache's asymmetric invalidation, the degraded bounded search),
+the update routing that keeps them consistent, and — the load-bearing
+guarantee — a multi-threaded stress test asserting every confident answer
+matches a BFS oracle replayed on the exact snapshot version it was
+produced at.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import is_reachable_bfs
+from repro.service import (
+    ReachabilityService,
+    RWLock,
+    VersionedQueryCache,
+    replay_workload,
+)
+from repro.service.engine import _bounded_bibfs
+from repro.service.fastpath import FastPathPruner
+from repro.service.stats import ServiceStats, format_stats_table
+from repro.workloads.mixed import INSERT, Op, generate_mixed_workload
+
+from tests.conftest import random_graph
+
+
+# ----------------------------------------------------------------------
+# Fast-path pruner
+# ----------------------------------------------------------------------
+class TestFastPathPruner:
+    def test_trivial_rules(self):
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2)])
+        pruner = FastPathPruner(g)
+        assert pruner.check(0, 0) == (True, "identity")
+        assert pruner.check(0, 99) == (False, "missing-endpoint")
+        assert pruner.check(2, 0) == (False, "source-sink")  # d_out(2) = 0
+        assert pruner.check(1, 0)[0] is False  # d_in(0) = 0 or topo
+
+    def test_same_scc_positive(self, two_scc_graph):
+        pruner = FastPathPruner(two_scc_graph)
+        assert pruner.check(0, 2) == (True, "same-scc")
+        assert pruner.check(4, 3) == (True, "same-scc")
+
+    def test_topo_level_refutes_backward_queries(self, line_graph):
+        pruner = FastPathPruner(line_graph, num_supportive=0)
+        answer, rule = pruner.check(3, 1)
+        assert answer is False
+        assert rule == "topo-level"
+
+    def test_supportive_sets_prove_and_refute(self):
+        # 0 -> 1 -> 2 and isolated-ish 3 -> 4; vertex 1 is the top hub.
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2), (3, 4), (1, 5), (6, 1)])
+        pruner = FastPathPruner(g, num_supportive=1)
+        assert pruner.supportive_vertices == [1]
+        assert pruner.check(0, 2) == (True, "supportive-bridge")
+        # 2 is in F(1) ... no: 2 not in F? F(1) = {1,2,5}; 4 not in F(1).
+        assert pruner.check(1, 4)[0] is False
+
+    def test_observations_always_agree_with_oracle(self):
+        rng = random.Random(0)
+        g = random_graph(40, 120, seed=2)
+        pruner = FastPathPruner(g, num_supportive=3, seed=1)
+        for _ in range(600):
+            s, t = rng.randrange(40), rng.randrange(40)
+            observed = pruner.check(s, t)
+            if observed is not None:
+                assert observed[0] == is_reachable_bfs(g, s, t), (s, t, observed)
+
+    def test_agreement_maintained_under_updates(self):
+        rng = random.Random(3)
+        g = random_graph(30, 60, seed=4)
+        pruner = FastPathPruner(g, num_supportive=3, seed=1, rebuild_cooldown=1)
+        for step in range(250):
+            if rng.random() < 0.5:
+                pruner.apply_insert(rng.randrange(30), rng.randrange(30))
+            else:
+                edges = list(g.edges())
+                if edges:
+                    u, v = edges[rng.randrange(len(edges))]
+                    pruner.apply_delete(u, v)
+            pruner.observe_query()
+            s, t = rng.randrange(30), rng.randrange(30)
+            observed = pruner.check(s, t)
+            if observed is not None:
+                assert observed[0] == is_reachable_bfs(g, s, t), (
+                    step,
+                    s,
+                    t,
+                    observed,
+                )
+
+    def test_level_invariant_after_merge_and_split(self):
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        pruner = FastPathPruner(g, num_supportive=0)
+        pruner.apply_insert(3, 0)  # merge the whole chain into one SCC
+        assert pruner.check(3, 1) == (True, "same-scc")
+        pruner.apply_delete(3, 0)  # split back apart
+        assert pruner.check(3, 1)[0] is False
+        # invariant: every DAG edge strictly increases the level
+        dag = pruner.dag.dag
+        for a, b in dag.edges():
+            assert pruner._level[a] < pruner._level[b]
+
+    def test_insert_extends_samples_exactly(self):
+        g = DynamicDiGraph(edges=[(0, 1), (0, 2), (5, 0), (3, 4)])
+        pruner = FastPathPruner(g, num_supportive=1)  # hub 0
+        assert pruner.supportive_vertices == [0]
+        assert pruner.check(5, 4) is None or pruner.check(5, 4)[0] is False
+        pruner.apply_insert(2, 3)  # now 0 reaches 3 and 4
+        assert pruner.samples_valid
+        assert pruner.check(5, 4) == (True, "supportive-bridge")
+
+    def test_delete_invalidates_then_cooldown_rebuilds(self):
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2), (0, 3), (4, 0)])
+        pruner = FastPathPruner(g, num_supportive=1, rebuild_cooldown=3)
+        assert pruner.samples_valid
+        pruner.apply_delete(1, 2)  # removes reachability -> invalidates
+        assert not pruner.samples_valid
+        pruner.observe_query()
+        pruner.observe_query()
+        assert not pruner.samples_valid  # cooldown not reached
+        pruner.observe_query()
+        assert pruner.samples_valid
+        assert pruner.sample_rebuilds == 1
+
+    def test_neutral_delete_keeps_samples(self):
+        # Deleting 1->2 leaves the condensation untouched: the SCC {0,1}
+        # still reaches component {2} through the parallel edge 0->2.
+        g = DynamicDiGraph(edges=[(0, 1), (1, 0), (0, 2), (1, 2), (0, 3)])
+        pruner = FastPathPruner(g, num_supportive=2)
+        effect = pruner.apply_delete(1, 2)
+        assert effect.changed and not effect.removes_reachability
+        assert pruner.samples_valid
+
+
+# ----------------------------------------------------------------------
+# Versioned cache
+# ----------------------------------------------------------------------
+class TestVersionedQueryCache:
+    def test_positive_survives_insertion(self):
+        cache = VersionedQueryCache(8)
+        cache.put(0, 1, True, version=5)
+        cache.note_update(6, adds_reachability=True, removes_reachability=False)
+        assert cache.get(0, 1) is True
+
+    def test_negative_killed_by_insertion(self):
+        cache = VersionedQueryCache(8)
+        cache.put(0, 1, False, version=5)
+        cache.note_update(6, adds_reachability=True, removes_reachability=False)
+        assert cache.get(0, 1) is None
+        assert cache.stale_evictions == 1
+
+    def test_negative_survives_deletion(self):
+        cache = VersionedQueryCache(8)
+        cache.put(0, 1, False, version=5)
+        cache.note_update(6, adds_reachability=False, removes_reachability=True)
+        assert cache.get(0, 1) is False
+
+    def test_positive_killed_by_deletion(self):
+        cache = VersionedQueryCache(8)
+        cache.put(0, 1, True, version=5)
+        cache.note_update(6, adds_reachability=False, removes_reachability=True)
+        assert cache.get(0, 1) is None
+
+    def test_entry_stamped_after_barrier_is_valid(self):
+        cache = VersionedQueryCache(8)
+        cache.note_update(6, adds_reachability=True, removes_reachability=True)
+        cache.put(0, 1, True, version=6)
+        assert cache.get(0, 1) is True
+
+    def test_put_refuses_already_stale_entry(self):
+        cache = VersionedQueryCache(8)
+        cache.note_update(9, adds_reachability=True, removes_reachability=True)
+        cache.put(0, 1, True, version=5)  # raced with an update
+        assert cache.peek(0, 1) is None
+
+    def test_lru_eviction(self):
+        cache = VersionedQueryCache(2)
+        cache.put(0, 1, True, 1)
+        cache.put(0, 2, True, 1)
+        assert cache.get(0, 1) is True  # touch -> most recent
+        cache.put(0, 3, True, 1)
+        assert cache.peek(0, 2) is None  # evicted as least recent
+        assert cache.peek(0, 1) is not None
+
+    def test_invalidate_all(self):
+        cache = VersionedQueryCache(8)
+        cache.put(0, 1, True, 1)
+        cache.put(1, 2, False, 1)
+        cache.invalidate_all(version=2)
+        assert cache.get(0, 1) is None
+        assert cache.get(1, 2) is None
+
+
+# ----------------------------------------------------------------------
+# Degraded bounded search
+# ----------------------------------------------------------------------
+class TestBoundedBiBFS:
+    def test_meet_is_exact(self, diamond_graph):
+        assert _bounded_bibfs(diamond_graph, 0, 3, 100) == (True, True, "meet")
+
+    def test_exhaustion_is_exact(self, line_graph):
+        answer, exact, detail = _bounded_bibfs(line_graph, 4, 0, 100)
+        assert (answer, exact) == (False, True)
+
+    def test_budget_overrun_is_unconfident(self):
+        g = DynamicDiGraph(edges=[(i, i + 1) for i in range(50)])
+        answer, exact, detail = _bounded_bibfs(g, 0, 49, budget=3)
+        assert exact is False
+        assert detail == "budget-exhausted"
+
+
+# ----------------------------------------------------------------------
+# The service pipeline
+# ----------------------------------------------------------------------
+class TestReachabilityService:
+    def test_stage_progression(self, line_graph):
+        with ReachabilityService(line_graph, num_supportive=0) as svc:
+            out = svc.query(0, 4)
+            assert out.via == "engine" and out.answer is True
+            again = svc.query(0, 4)
+            assert again.via == "cache" and again.answer is True
+            assert svc.query(4, 0).via == "fastpath"
+
+    def test_matches_oracle_on_random_graph(self):
+        g = random_graph(35, 90, seed=9)
+        shadow = g.copy()
+        with ReachabilityService(g, num_supportive=3, seed=2) as svc:
+            for s in range(35):
+                for t in range(35):
+                    out = svc.query(s, t)
+                    assert out.confident
+                    assert out.answer == is_reachable_bfs(shadow, s, t), (s, t)
+
+    def test_update_invalidates_only_what_it_must(self, line_graph):
+        with ReachabilityService(line_graph, num_supportive=0) as svc:
+            assert svc.query(0, 4).answer is True
+            assert svc.query(0, 4).via == "cache"
+            # An insertion elsewhere cannot invalidate a positive entry.
+            effect = svc.add_edge(10, 0)
+            assert effect.adds_reachability
+            assert svc.query(0, 4).via == "cache"
+            # A reachability-removing deletion must invalidate it.
+            svc.remove_edge(2, 3)
+            out = svc.query(0, 4)
+            assert out.via != "cache"
+            assert out.answer is False
+
+    def test_neutral_update_keeps_cache(self, two_scc_graph):
+        with ReachabilityService(two_scc_graph, num_supportive=0) as svc:
+            svc.query(0, 4)
+            assert svc.query(0, 4).via == "cache"
+            effect = svc.add_edge(0, 2)  # inside the SCC {0,1,2}: neutral
+            assert effect.changed
+            assert not effect.adds_reachability
+            assert svc.query(0, 4).via == "cache"
+            assert svc.stats()["counters"]["neutral_updates"] == 1
+
+    def test_deadline_degrades_instead_of_blocking(self):
+        g = DynamicDiGraph(edges=[(i, i + 1) for i in range(30)])
+        with ReachabilityService(g, num_supportive=0, degrade_budget=4) as svc:
+            out = svc.query(0, 29, deadline_s=0.0)
+            assert out.via == "degraded"
+            assert out.confident is False
+            assert svc.stats()["counters"]["degraded"] == 1
+
+    def test_degraded_meet_is_cached_and_confident(self, diamond_graph):
+        with ReachabilityService(diamond_graph, num_supportive=0) as svc:
+            out = svc.query(0, 3, deadline_s=0.0)
+            assert out.via == "degraded" and out.confident and out.answer
+            assert svc.query(0, 3).via == "cache"
+
+    def test_submit_and_batch_dedup(self, diamond_graph):
+        with ReachabilityService(diamond_graph, num_workers=2) as svc:
+            future = svc.submit(0, 3)
+            assert future.result().answer is True
+            outcomes = svc.query_batch([(0, 3), (0, 3), (1, 2), (0, 3)])
+            assert [o.answer for o in outcomes] == [True, True, False, True]
+            assert svc.stats()["counters"]["batched_dedup"] == 2
+
+    def test_outcome_version_identifies_snapshot(self, line_graph):
+        with ReachabilityService(line_graph, num_supportive=0) as svc:
+            v0 = svc.graph.version
+            assert svc.query(0, 4).version == v0
+            effect = svc.add_edge(50, 51)
+            assert effect.version > v0
+            assert svc.query(0, 4).version == effect.version
+
+    def test_stats_surface_shape(self, diamond_graph):
+        with ReachabilityService(diamond_graph) as svc:
+            svc.query(0, 3)
+            svc.add_edge(7, 8)
+            snapshot = svc.stats()
+            assert {"counters", "derived", "latency", "graph"} <= set(snapshot)
+            assert snapshot["counters"]["queries"] == 1
+            assert snapshot["graph"]["version"] == svc.graph.version
+            table = format_stats_table(snapshot)
+            assert "counters" in table and "latency (us)" in table
+
+    def test_closed_service_rejects_submissions(self, diamond_graph):
+        svc = ReachabilityService(diamond_graph)
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.submit(0, 3)
+        with pytest.raises(RuntimeError):
+            svc.query(0, 3)
+        with pytest.raises(RuntimeError):
+            svc.add_edge(3, 0)
+
+    def test_replay_workload_roundtrip(self):
+        g = random_graph(30, 80, seed=5)
+        ops = generate_mixed_workload(g, 200, query_ratio=0.8, seed=6)
+        with ReachabilityService(g.copy(), num_workers=2) as svc:
+            result = replay_workload(svc, ops)
+        assert result.num_queries + result.num_updates == 200
+        assert len(result.outcomes) == result.num_queries
+        assert result.stats["counters"]["queries"] == result.num_queries
+
+
+# ----------------------------------------------------------------------
+# RWLock
+# ----------------------------------------------------------------------
+class TestRWLock:
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        log = []
+        lock.acquire_write()
+
+        def reader():
+            lock.acquire_read()
+            log.append("read")
+            lock.release_read()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=0.05)
+        assert log == []  # reader blocked behind the writer
+        lock.release_write()
+        thread.join(timeout=2.0)
+        assert log == ["read"]
+
+    def test_readers_share(self):
+        lock = RWLock()
+        lock.acquire_read()
+        done = threading.Event()
+
+        def reader():
+            lock.acquire_read()
+            done.set()
+            lock.release_read()
+
+        threading.Thread(target=reader).start()
+        assert done.wait(timeout=2.0)
+        lock.release_read()
+
+
+# ----------------------------------------------------------------------
+# The concurrent stress test: confident answers vs a per-version oracle
+# ----------------------------------------------------------------------
+class TestConcurrentStress:
+    NUM_QUERY_THREADS = 3
+    QUERIES_PER_THREAD = 80
+    NUM_UPDATES = 60
+
+    def test_confident_answers_match_per_version_oracle(self):
+        base = random_graph(40, 100, seed=11)
+        initial = base.copy()
+        service = ReachabilityService(
+            base, num_workers=2, num_supportive=3, seed=1, rebuild_cooldown=8
+        )
+
+        update_rng = random.Random(21)
+        update_log = []  # (version_after, kind, u, v) in version order
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        errors = []
+
+        def updater():
+            try:
+                for _ in range(self.NUM_UPDATES):
+                    if update_rng.random() < 0.6:
+                        u, v = update_rng.randrange(45), update_rng.randrange(45)
+                        if u == v:
+                            continue
+                        effect = service.add_edge(u, v)
+                        kind = INSERT
+                    else:
+                        edges = list(service.graph.edges())
+                        if not edges:
+                            continue
+                        u, v = edges[update_rng.randrange(len(edges))]
+                        effect = service.remove_edge(u, v)
+                        kind = "delete"
+                    if effect.changed:
+                        update_log.append((effect.version, kind, u, v))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def querier(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(self.QUERIES_PER_THREAD):
+                    s, t = rng.randrange(45), rng.randrange(45)
+                    outcome = service.query(s, t)
+                    with outcomes_lock:
+                        outcomes.append(outcome)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=updater)] + [
+            threading.Thread(target=querier, args=(100 + i,))
+            for i in range(self.NUM_QUERY_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        service.close()
+        assert not errors, errors
+
+        # Replay each answered version's snapshot and check the oracle.
+        # The write lock serializes updates, so every outcome version is
+        # either the initial version or some update's resulting version.
+        shadow = initial.copy()
+        log = sorted(update_log)
+        mismatches = []
+        applied = 0
+        for outcome in sorted(outcomes, key=lambda o: o.version):
+            while applied < len(log) and log[applied][0] <= outcome.version:
+                _, kind, u, v = log[applied]
+                if kind == INSERT:
+                    shadow.add_edge(u, v)
+                else:
+                    shadow.remove_edge(u, v)
+                applied += 1
+            if not outcome.confident:
+                continue
+            expected = is_reachable_bfs(shadow, outcome.source, outcome.target)
+            if outcome.answer != expected:
+                mismatches.append((outcome, expected))
+        assert not mismatches, mismatches[:5]
+        assert len(outcomes) == self.NUM_QUERY_THREADS * self.QUERIES_PER_THREAD

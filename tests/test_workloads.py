@@ -101,3 +101,100 @@ def test_property_generated_queries_valid(seed, count):
         assert s != t
         assert g.out_degree(s) > 0
         assert g.in_degree(t) > 0
+
+
+class TestMixedWorkload:
+    def _graph(self):
+        return random_graph(30, 80, seed=3)
+
+    def test_requested_length_and_kinds(self):
+        from repro.workloads.mixed import generate_mixed_workload
+
+        ops = generate_mixed_workload(self._graph(), 300, seed=1)
+        assert len(ops) == 300
+        assert {op.kind for op in ops} <= {"query", "insert", "delete"}
+
+    def test_query_ratio_respected(self):
+        from repro.workloads.mixed import generate_mixed_workload, workload_mix
+
+        ops = generate_mixed_workload(
+            self._graph(), 1000, query_ratio=0.7, seed=2
+        )
+        queries, inserts, deletes = workload_mix(ops)
+        assert queries + inserts + deletes == 1000
+        assert 0.6 < queries / 1000 < 0.8
+        assert inserts > 0 and deletes > 0
+
+    def test_updates_are_never_noops(self):
+        """Replaying the stream must apply every update effectively."""
+        from repro.workloads.mixed import generate_mixed_workload
+
+        graph = self._graph()
+        ops = generate_mixed_workload(graph, 500, query_ratio=0.5, seed=4)
+        replay = graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                assert replay.add_edge(op.u, op.v), op
+            elif op.kind == "delete":
+                assert replay.remove_edge(op.u, op.v), op
+
+    def test_skew_concentrates_endpoints(self):
+        from repro.workloads.mixed import generate_mixed_workload
+
+        graph = self._graph()
+        flat = generate_mixed_workload(
+            graph, 2000, query_ratio=1.0, skew=0.0, seed=5
+        )
+        hot = generate_mixed_workload(
+            graph, 2000, query_ratio=1.0, skew=1.5, seed=5
+        )
+
+        def top_share(ops):
+            counts = {}
+            for op in ops:
+                counts[op.u] = counts.get(op.u, 0) + 1
+            return max(counts.values()) / len(ops)
+
+        assert top_share(hot) > 2 * top_share(flat)
+
+    def test_pair_pool_repeats_pairs(self):
+        from repro.workloads.mixed import generate_mixed_workload
+
+        ops = generate_mixed_workload(
+            self._graph(), 500, query_ratio=1.0, pair_pool=10, seed=6
+        )
+        pairs = {(op.u, op.v) for op in ops}
+        assert len(pairs) <= 10
+
+    def test_deterministic_under_seed(self):
+        from repro.workloads.mixed import generate_mixed_workload
+
+        a = generate_mixed_workload(self._graph(), 200, seed=7)
+        b = generate_mixed_workload(self._graph(), 200, seed=7)
+        assert a == b
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.workloads.mixed import (
+            generate_mixed_workload,
+            load_workload,
+            save_workload,
+        )
+
+        ops = generate_mixed_workload(self._graph(), 120, seed=8)
+        path = tmp_path / "wl.txt"
+        save_workload(ops, path)
+        assert load_workload(path) == ops
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        from repro.workloads.mixed import load_workload
+
+        path = tmp_path / "bad.txt"
+        path.write_text("Q 1 2\nX 3 4\n")
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_empty_graph_rejected(self):
+        from repro.workloads.mixed import generate_mixed_workload
+
+        with pytest.raises(ValueError):
+            generate_mixed_workload(DynamicDiGraph(), 10)
