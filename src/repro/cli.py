@@ -149,6 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-query deadline; expired queries degrade instead of blocking",
     )
+    sb.add_argument(
+        "--kernels",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve reads from per-epoch frozen CSR snapshots via the "
+        "vectorized kernels (--no-kernels forces the dict path)",
+    )
+    sb.add_argument(
+        "--freeze-threshold",
+        type=int,
+        default=2,
+        help="engine-stage queries one graph version must attract before "
+        "its CSR snapshot is frozen",
+    )
     sb.add_argument("--seed", type=int, default=0)
     sb.set_defaults(func=cmd_serve_bench)
 
@@ -276,7 +290,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     print(
         f"replaying {len(ops)} ops ({queries} queries, {inserts} inserts, "
         f"{deletes} deletes) on n={graph.num_vertices} m={graph.num_edges} "
-        f"with {args.workers} workers"
+        f"with {args.workers} workers "
+        f"(csr kernels {'on' if args.kernels else 'off'})"
     )
     deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
     with ReachabilityService(
@@ -286,6 +301,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         num_supportive=args.supportive,
         seed=args.seed,
         deadline_s=deadline_s,
+        use_kernels=args.kernels,
+        csr_freeze_threshold=args.freeze_threshold,
     ) as service:
         result = replay_workload(service, ops, deadline_s=deadline_s)
         row = result.summary_row()

@@ -9,6 +9,12 @@ Also usable stand-alone from ``{s}`` / ``{t}`` frontiers on a fresh
 context, which is exactly the plain BiBFS competitor. All per-direction
 bindings are hoisted out of the layer loop: on sparse graphs layers hold
 only a couple of vertices, so per-layer setup would otherwise dominate.
+
+When the query never contracted (empty overlay, no super-vertices) and a
+current-version CSR snapshot is already frozen, the whole phase dispatches
+to the vectorized kernel (:func:`repro.graph.kernels.csr_bibfs_frontiers`)
+instead — answer-equivalent, but paying interpreter cost per layer rather
+than per edge.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import Iterable, List
 
 from repro.core.state import SearchContext
 from repro.core.stats import QueryStats
+from repro.graph import kernels
 
 
 def frontier_bibfs(
@@ -27,6 +34,20 @@ def frontier_bibfs(
 ) -> bool:
     """Run Alg. 5 to completion; returns whether ``s -> t``."""
     fwd, rev = ctx.fwd, ctx.rev
+    if (
+        ctx.params.use_kernels
+        and not ctx.find
+        and not fwd.has_super
+        and not rev.has_super
+    ):
+        snapshot = ctx.graph.csr(build=False)
+        if snapshot is not None:
+            met, accesses = kernels.csr_bibfs_frontiers(
+                snapshot, frontier_f, frontier_r, fwd.visited, rev.visited
+            )
+            stats.bibfs_edge_accesses += accesses
+            stats.used_kernel = True
+            return met
     visited_f, visited_r = fwd.visited, rev.visited
     adj_f = ctx.graph.adjacency(True)
     adj_r = ctx.graph.adjacency(False)
@@ -39,35 +60,39 @@ def frontier_bibfs(
     cur_r: List[int] = list(frontier_r)
     accesses = 0
     try:
-        while cur_f or cur_r:
-            if cur_f:
-                next_f: List[int] = []
-                for u in cur_f:
-                    for w in (super_adj_f if u == super_f else adj_f[u]):
-                        accesses += 1
-                        w = find_get(w, w)
-                        if w == u or w in visited_f:
-                            continue
-                        if w in visited_r:
-                            return True
-                        visited_f.add(w)
-                        next_f.append(w)
-                explored_f.update(cur_f)
-                cur_f = next_f
-            if cur_r:
-                next_r: List[int] = []
-                for u in cur_r:
-                    for w in (super_adj_r if u == super_r else adj_r[u]):
-                        accesses += 1
-                        w = find_get(w, w)
-                        if w == u or w in visited_r:
-                            continue
-                        if w in visited_f:
-                            return True
-                        visited_r.add(w)
-                        next_r.append(w)
-                explored_r.update(cur_r)
-                cur_r = next_r
+        # An exhausted frontier proves the negative: meets are tested the
+        # moment a vertex enters a visited set, so an empty frontier means
+        # that side's visited set is its endpoint's complete closure and
+        # is disjoint from the other side — no future layer can meet it.
+        while cur_f and cur_r:
+            next_f: List[int] = []
+            for u in cur_f:
+                for w in (super_adj_f if u == super_f else adj_f[u]):
+                    accesses += 1
+                    w = find_get(w, w)
+                    if w == u or w in visited_f:
+                        continue
+                    if w in visited_r:
+                        return True
+                    visited_f.add(w)
+                    next_f.append(w)
+            explored_f.update(cur_f)
+            cur_f = next_f
+            if not cur_f:
+                break
+            next_r: List[int] = []
+            for u in cur_r:
+                for w in (super_adj_r if u == super_r else adj_r[u]):
+                    accesses += 1
+                    w = find_get(w, w)
+                    if w == u or w in visited_r:
+                        continue
+                    if w in visited_f:
+                        return True
+                    visited_r.add(w)
+                    next_r.append(w)
+            explored_r.update(cur_r)
+            cur_r = next_r
         return False
     finally:
         stats.bibfs_edge_accesses += accesses

@@ -113,7 +113,9 @@ class IFCA:
         if immediate:
             stats.rounds = 1
             stats.switched_to_bibfs = True
-            met = bibfs_is_reachable(self.graph, source, target, stats)
+            met = bibfs_is_reachable(
+                self.graph, source, target, stats, use_kernels=params.use_kernels
+            )
             return self._finish(stats, met, "bibfs")
 
         ctx = SearchContext(self.graph, params, source, target)

@@ -61,6 +61,11 @@ class IFCAParams:
     use_cost_model: bool = True
     force_switch_round: Optional[int] = None
     max_rounds: int = 10_000
+    #: Dispatch BiBFS phases to the vectorized CSR kernels whenever a
+    #: current-version snapshot is already frozen (``graph.csr(build=False)``).
+    #: Semantics are identical either way; turning this off forces the dict
+    #: path even when a snapshot is available (the A/B harness does).
+    use_kernels: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -110,6 +115,7 @@ class IFCAParams:
             use_cost_model=self.use_cost_model,
             force_switch_round=self.force_switch_round,
             max_rounds=self.max_rounds,
+            use_kernels=self.use_kernels,
         )
 
 
@@ -129,3 +135,4 @@ class ResolvedParams:
     use_cost_model: bool
     force_switch_round: Optional[int]
     max_rounds: int
+    use_kernels: bool = True

@@ -37,6 +37,8 @@ class QueryStats:
     #: Vertices merged into the two super-vertices.
     merged_forward: int = 0
     merged_reverse: int = 0
+    #: Whether the BiBFS phase ran on the vectorized CSR kernel.
+    used_kernel: bool = False
 
     @property
     def edge_accesses(self) -> int:
@@ -59,3 +61,5 @@ class QueryStats:
         self.merged_reverse += other.merged_reverse
         if other.switched_to_bibfs:
             self.switched_to_bibfs = True
+        if other.used_kernel:
+            self.used_kernel = True

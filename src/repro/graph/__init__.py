@@ -4,7 +4,7 @@ from repro.graph.digraph import DynamicDiGraph
 from repro.graph.scc import condensation, strongly_connected_components
 from repro.graph.dag import DynamicDAG
 from repro.graph.closure import TransitiveClosure
-from repro.graph.snapshot import CSRSnapshot
+from repro.graph.kernels import HAVE_NUMPY, kernels_enabled, set_kernels_enabled
 from repro.graph.stats import GraphSummary, summarize
 from repro.graph.traversal import (
     bfs_distances,
@@ -13,6 +13,11 @@ from repro.graph.traversal import (
     reverse_bfs_reachable,
 )
 
+if HAVE_NUMPY:
+    from repro.graph.snapshot import CSRSnapshot
+else:  # pragma: no cover - the no-numpy environment only
+    CSRSnapshot = None  # type: ignore[assignment, misc]
+
 __all__ = [
     "DynamicDiGraph",
     "DynamicDAG",
@@ -20,6 +25,9 @@ __all__ = [
     "CSRSnapshot",
     "GraphSummary",
     "summarize",
+    "HAVE_NUMPY",
+    "kernels_enabled",
+    "set_kernels_enabled",
     "strongly_connected_components",
     "condensation",
     "bfs_reachable",

@@ -27,7 +27,14 @@ class DynamicDiGraph:
     (backward push, reverse BFS) cost the same as forward ones.
     """
 
-    __slots__ = ("_out", "_in", "_num_edges", "_edge_set", "_version")
+    __slots__ = (
+        "_out",
+        "_in",
+        "_num_edges",
+        "_edge_set",
+        "_version",
+        "_csr_state",
+    )
 
     def __init__(
         self,
@@ -39,6 +46,7 @@ class DynamicDiGraph:
         self._edge_set: Set[Tuple[int, int]] = set()
         self._num_edges = 0
         self._version = 0
+        self._csr_state: Optional[Tuple[int, object]] = None
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -177,6 +185,40 @@ class DynamicDiGraph:
         a local to avoid per-edge method-call overhead. Treat as read-only.
         """
         return self._out if forward else self._in
+
+    # ------------------------------------------------------------------
+    # Frozen CSR read view
+    # ------------------------------------------------------------------
+    def csr(self, build: bool = True):
+        """A frozen CSR view of the current epoch, or ``None``.
+
+        The view is keyed by :attr:`version`: any effective mutation makes
+        the cached snapshot stale, after which it is rebuilt lazily — at
+        most once per graph epoch — on the next ``build=True`` call.
+        ``build=False`` is the pure probe the hot paths use: it returns
+        the snapshot only when one is already frozen *for this exact
+        version*, never paying a freeze mid-churn. Returns ``None``
+        whenever numpy is unavailable or kernels are switched off.
+
+        Thread-safety matches the rest of the class: concurrent readers
+        may race to build the same version (both produce identical
+        snapshots; one reference wins the single-assignment publish), but
+        mutations must not run concurrently with ``build=True``.
+        """
+        from repro.graph import kernels
+
+        if not kernels.kernels_enabled():
+            return None
+        state = self._csr_state
+        if state is not None and state[0] == self._version:
+            return state[1]
+        if not build:
+            return None
+        from repro.graph.snapshot import CSRSnapshot
+
+        snapshot = CSRSnapshot.freeze(self)
+        self._csr_state = (self._version, snapshot)
+        return snapshot
 
     def out_degree(self, v: int) -> int:
         return len(self._out[v])

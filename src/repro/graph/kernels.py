@@ -1,0 +1,330 @@
+"""Vectorized CSR traversal kernels for the query hot path.
+
+The dict-of-lists :class:`~repro.graph.digraph.DynamicDiGraph` is the
+mutable source of truth, but its hot read loops (frontier BiBFS,
+supportive-set construction, sweep scans) pay Python-interpreter cost per
+*edge*. These kernels run the same algorithms over a frozen
+:class:`~repro.graph.snapshot.CSRSnapshot` with numpy whole-frontier
+operations, paying interpreter cost per *layer* instead — the flat-array
+adjacency O'Reach demonstrates dominates pointer-chasing representations.
+
+Contract
+--------
+* Every kernel is answer-equivalent to its dict twin on the same snapshot
+  (asserted by ``tests/test_kernels.py`` and the equivalence harness in
+  ``benchmarks/bench_kernels.py``); only edge-access *counts* may differ,
+  because whole-layer expansion cannot early-exit mid-layer.
+* Kernels never mutate the snapshot; all state (visited masks, frontiers)
+  is per-call scratch.
+* numpy is optional. :data:`HAVE_NUMPY` is ``False`` when the import
+  fails — or when ``REPRO_NO_NUMPY`` is set in the environment, which lets
+  CI prove the dict fallback stays green on a machine that *does* have
+  numpy installed. Callers must consult :func:`kernels_enabled` (or simply
+  pass the ``None`` they got from ``DynamicDiGraph.csr``) before
+  dispatching here.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Set, Tuple, TYPE_CHECKING
+
+try:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("numpy disabled via REPRO_NO_NUMPY")
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+if TYPE_CHECKING:  # avoid importing snapshot (and numpy) at runtime
+    from repro.graph.snapshot import CSRSnapshot
+
+_enabled = HAVE_NUMPY
+
+
+def kernels_enabled() -> bool:
+    """Whether CSR kernels may be used (numpy present and not switched off)."""
+    return _enabled
+
+
+def set_kernels_enabled(flag: bool) -> bool:
+    """Flip the process-wide kernel switch; returns the previous value.
+
+    Forced ``True`` is still capped by numpy availability. Benchmarks and
+    the A/B equivalence harness use this to run both paths back to back.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag) and HAVE_NUMPY
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Frontier primitives
+# ----------------------------------------------------------------------
+def _gather(offsets, targets, frontier):
+    """Concatenate the adjacency slices of every frontier vertex.
+
+    Equivalent to ``np.concatenate([targets[offsets[v]:offsets[v+1]] for v
+    in frontier])`` but with no per-vertex Python iteration: the slice
+    starts are repeated per slice length and offset by a running arange.
+    """
+    starts = offsets[frontier]
+    counts = offsets[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return targets[:0]
+    cum = np.cumsum(counts)
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - counts), counts)
+    return targets[idx]
+
+
+#: Layers at most this large deduplicate with ``np.unique`` (O(f log f));
+#: larger ones collapse duplicates through a scratch mask + ``flatnonzero``
+#: (O(f + n), no sort), which wins once layers hold thousands of vertices.
+_UNIQUE_CUTOFF = 128
+
+#: Gathered layers larger than this are meet-tested in slices so a
+#: positive query can stop partway through a huge layer, the same
+#: mid-layer early-out the dict loop gets for free from its edge loop.
+_MEET_CHUNK = 8192
+
+
+def _dedup(fresh, scratch):
+    """Collapse duplicates in ``fresh``; ``scratch`` is an all-``False``
+    bool array restored before returning."""
+    if len(fresh) <= _UNIQUE_CUTOFF:
+        return np.unique(fresh)
+    scratch[fresh] = True
+    nxt = np.flatnonzero(scratch)
+    scratch[nxt] = False
+    return nxt
+
+
+def _expand(offsets, targets, frontier, visited, other_visited, scratch):
+    """One whole-layer expansion of ``frontier``.
+
+    Returns ``(met, next_frontier, accesses)``. Mirrors the dict loop:
+    neighbors already in ``visited`` are skipped *without* a meet test,
+    unvisited neighbors are tested against the other direction, then
+    marked visited and deduplicated into the next layer. ``scratch`` is a
+    caller-owned all-``False`` bool array, restored before returning.
+    """
+    nbrs = _gather(offsets, targets, frontier)
+    total = len(nbrs)
+    if total == 0:
+        return False, nbrs, 0
+    if total <= _MEET_CHUNK:
+        fresh = nbrs[~visited[nbrs]]
+        if len(fresh) == 0:
+            return False, fresh, total
+        if other_visited[fresh].any():
+            return True, fresh, total
+        visited[fresh] = True
+        return False, _dedup(fresh, scratch), total
+    # Huge layer: scan it slice by slice. Marking each slice visited
+    # before moving on also filters cross-slice duplicates early, so only
+    # intra-slice duplicates are left for the final dedup.
+    pieces = []
+    for lo in range(0, total, _MEET_CHUNK):
+        chunk = nbrs[lo : lo + _MEET_CHUNK]
+        fresh = chunk[~visited[chunk]]
+        if len(fresh) == 0:
+            continue
+        if other_visited[fresh].any():
+            return True, fresh, min(lo + _MEET_CHUNK, total)
+        visited[fresh] = True
+        pieces.append(fresh)
+    if not pieces:
+        return False, nbrs[:0], total
+    return False, _dedup(np.concatenate(pieces), scratch), total
+
+
+# ----------------------------------------------------------------------
+# Bidirectional BFS
+# ----------------------------------------------------------------------
+def csr_bibfs(csr: "CSRSnapshot", source: int, target: int) -> Tuple[bool, int]:
+    """Layer-alternating BiBFS over a snapshot; ``(answer, edge_accesses)``.
+
+    ``source`` / ``target`` are original vertex ids and must exist in the
+    snapshot (callers run the trivial tests first, exactly like the dict
+    path).
+    """
+    if source == target:
+        return True, 0
+    si = csr.index_of(source)
+    ti = csr.index_of(target)
+    n = csr.num_vertices
+    visited_f = np.zeros(n, dtype=bool)
+    visited_r = np.zeros(n, dtype=bool)
+    visited_f[si] = True
+    visited_r[ti] = True
+    frontier_f = np.array([si], dtype=np.int64)
+    frontier_r = np.array([ti], dtype=np.int64)
+    return _bibfs_loop(csr, frontier_f, frontier_r, visited_f, visited_r)
+
+
+def csr_bibfs_frontiers(
+    csr: "CSRSnapshot",
+    frontier_f: Iterable[int],
+    frontier_r: Iterable[int],
+    visited_f: Set[int],
+    visited_r: Set[int],
+) -> Tuple[bool, int]:
+    """The frontier-initialized hand-off variant (Alg. 5 without overlay).
+
+    Inherits the guided search's visited sets and frontiers (original
+    ids). Only valid when the query performed no contraction — the caller
+    checks that the overlay is empty before dispatching here.
+    """
+    n = csr.num_vertices
+    mask_f = np.zeros(n, dtype=bool)
+    mask_r = np.zeros(n, dtype=bool)
+    idx_f = csr.indices_of(visited_f)
+    idx_r = csr.indices_of(visited_r)
+    mask_f[idx_f] = True
+    mask_r[idx_r] = True
+    cur_f = np.unique(csr.indices_of(frontier_f))
+    cur_r = np.unique(csr.indices_of(frontier_r))
+    # The inherited sets may already overlap only if a meet was missed
+    # upstream, which the engine's invariants forbid; a cheap intersection
+    # test keeps the kernel sound regardless.
+    if mask_f[idx_r].any():
+        return True, 0
+    return _bibfs_loop(csr, cur_f, cur_r, mask_f, mask_r)
+
+
+def _bibfs_loop(csr, frontier_f, frontier_r, visited_f, visited_r):
+    out_offsets, out_targets = csr.out_offsets, csr.out_targets
+    in_offsets, in_targets = csr.in_offsets, csr.in_targets
+    scratch = np.zeros(csr.num_vertices, dtype=bool)
+    accesses = 0
+    # An exhausted frontier proves the negative: that side's visited set
+    # is its full BFS closure and no meet happened, so the other side
+    # need not keep expanding (the same early-out the dict twin takes).
+    while len(frontier_f) and len(frontier_r):
+        met, frontier_f, acc = _expand(
+            out_offsets, out_targets, frontier_f, visited_f, visited_r, scratch
+        )
+        accesses += acc
+        if met:
+            return True, accesses
+        if not len(frontier_r):
+            break
+        met, frontier_r, acc = _expand(
+            in_offsets, in_targets, frontier_r, visited_r, visited_f, scratch
+        )
+        accesses += acc
+        if met:
+            return True, accesses
+    return False, accesses
+
+
+# ----------------------------------------------------------------------
+# Reachable-set kernels (supportive-vertex construction)
+# ----------------------------------------------------------------------
+def csr_reachable_mask(csr: "CSRSnapshot", start_index: int, forward: bool = True):
+    """Boolean mask (compacted indexing) of the BFS closure of one vertex."""
+    offsets = csr.out_offsets if forward else csr.in_offsets
+    targets = csr.out_targets if forward else csr.in_targets
+    visited = np.zeros(csr.num_vertices, dtype=bool)
+    visited[start_index] = True
+    frontier = np.array([start_index], dtype=np.int64)
+    while len(frontier):
+        nbrs = _gather(offsets, targets, frontier)
+        fresh = nbrs[~visited[nbrs]]
+        visited[fresh] = True
+        frontier = np.unique(fresh)
+    return visited
+
+
+def csr_reachable_set(csr: "CSRSnapshot", start: int, forward: bool = True) -> Set[int]:
+    """The BFS closure of ``start`` (original ids), kernel-computed.
+
+    Drop-in for :func:`repro.graph.traversal.bfs_reachable` /
+    ``reverse_bfs_reachable`` on the frozen snapshot.
+    """
+    mask = csr_reachable_mask(csr, csr.index_of(start), forward)
+    return set(csr.vertex_ids[mask].tolist())
+
+
+def csr_multi_reachable_sets(
+    csr: "CSRSnapshot", starts: Iterable[int], forward: bool = True
+) -> Dict[int, Set[int]]:
+    """Batched closure construction for many sources on one snapshot.
+
+    Used by the fast-path pruner's supportive-set rebuild: one frozen
+    view, ``k`` vectorized sweeps, no dict adjacency walking.
+    """
+    return {x: csr_reachable_set(csr, x, forward) for x in starts}
+
+
+# ----------------------------------------------------------------------
+# Degree / conductance scans (community sweep)
+# ----------------------------------------------------------------------
+def csr_total_degrees(csr: "CSRSnapshot"):
+    """``d_out + d_in`` per compacted vertex, one vectorized subtraction."""
+    out_deg = csr.out_offsets[1:] - csr.out_offsets[:-1]
+    in_deg = csr.in_offsets[1:] - csr.in_offsets[:-1]
+    return out_deg + in_deg
+
+
+def csr_sweep_cut(
+    csr: "CSRSnapshot",
+    ppr: Dict[int, float],
+    max_size: int = 0,
+) -> Tuple[Set[int], float]:
+    """Vectorized Andersen–Chung–Lang sweep; twin of ``sweep_cut``.
+
+    The incremental boundary bookkeeping of the dict sweep becomes a
+    difference-array scan: a directed edge ``(u, v)`` is a boundary edge
+    of prefix ``k`` exactly while ``rank(u) <= k < max(rank(u), rank(v))``
+    (vertices outside the prefix rank ``+inf``), so the whole conductance
+    profile is two ``bincount`` passes and a ``cumsum``.
+    """
+    degrees = csr_total_degrees(csr)
+    index_of = csr.index_of
+    items = [
+        (v, value) for v, value in ppr.items() if value > 0 and csr.has_vertex(v)
+    ]
+    if not items:
+        return set(), 1.0
+    ids = np.array([v for v, _ in items], dtype=np.int64)
+    values = np.array([value for _, value in items], dtype=np.float64)
+    idx = np.array([index_of(int(v)) for v in ids], dtype=np.int64)
+    scores = values / np.maximum(degrees[idx], 1)
+    # Descending score, ties broken by descending vertex id — the exact
+    # order of the dict sweep's ``sorted(..., reverse=True)`` on
+    # ``(score, v)`` tuples.
+    order = np.lexsort((-ids, -scores))
+    if max_size > 0:
+        order = order[:max_size]
+    ranked_idx = idx[order]
+    ranked_ids = ids[order]
+    num_ranked = len(ranked_idx)
+
+    rank = np.full(csr.num_vertices, num_ranked + 1, dtype=np.int64)
+    rank[ranked_idx] = np.arange(1, num_ranked + 1, dtype=np.int64)
+
+    vol = np.cumsum(degrees[ranked_idx])
+    out_counts = csr.out_offsets[ranked_idx + 1] - csr.out_offsets[ranked_idx]
+    nbrs = _gather(csr.out_offsets, csr.out_targets, ranked_idx)
+    rank_u = np.repeat(np.arange(1, num_ranked + 1, dtype=np.int64), out_counts)
+    rank_v = rank[nbrs]
+    removed_at = np.minimum(np.maximum(rank_u, rank_v), num_ranked + 1)
+    adds = np.bincount(rank_u, minlength=num_ranked + 2)
+    rems = np.bincount(removed_at, minlength=num_ranked + 2)
+    boundary = np.cumsum((adds - rems)[1 : num_ranked + 1])
+
+    two_m = 2 * csr.num_edges
+    denom = np.minimum(vol, two_m - vol)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        phi = np.where(denom > 0, boundary / np.maximum(denom, 1), 1.0)
+    best = int(np.argmin(phi))
+    best_phi = float(phi[best])
+    if best_phi >= 1.0:
+        return set(), 1.0
+    return set(int(v) for v in ranked_ids[: best + 1]), best_phi

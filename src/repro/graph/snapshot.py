@@ -15,9 +15,13 @@ lookup table, so graphs with sparse id spaces freeze without waste.
 
 from __future__ import annotations
 
+import os
+from itertools import chain
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
+if os.environ.get("REPRO_NO_NUMPY"):  # pragma: no cover - no-numpy CI job
+    raise ImportError("numpy disabled via REPRO_NO_NUMPY")
 import numpy as np
 
 from repro.graph.digraph import DynamicDiGraph
@@ -41,43 +45,62 @@ class CSRSnapshot:
         self.out_targets = out_targets
         self.in_offsets = in_offsets
         self.in_targets = in_targets
-        self._index: Dict[int, int] = {
-            int(v): i for i, v in enumerate(vertex_ids)
-        }
+        # tolist() yields Python ints in C; the zip/dict pair avoids a
+        # per-vertex int() call in what is a hot constructor (the serving
+        # engine re-freezes after every update epoch).
+        self._index: Dict[int, int] = dict(
+            zip(vertex_ids.tolist(), range(len(vertex_ids)))
+        )
+        # freeze() emits ids sorted; only then can array lookups use
+        # searchsorted (load() of a foreign archive might not be sorted).
+        self._ids_sorted = bool(
+            len(vertex_ids) < 2 or np.all(np.diff(vertex_ids) > 0)
+        )
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def freeze(cls, graph: DynamicDiGraph) -> "CSRSnapshot":
-        """Freeze the current state of a dynamic graph."""
+        """Freeze the current state of a dynamic graph.
+
+        Fully vectorized: offsets come from one ``cumsum`` over the degree
+        counts, the target arrays are filled by flattening all adjacency
+        lists in one pass and mapping ids to compacted indices with a
+        single ``searchsorted``, and the per-vertex neighbor sort (the
+        canonical-form guarantee: equal graphs freeze to equal snapshots
+        regardless of update history) is one stable ``lexsort`` keyed by
+        segment. No per-edge Python iteration anywhere.
+        """
         vertices = sorted(graph.vertices())
-        index = {v: i for i, v in enumerate(vertices)}
         n = len(vertices)
-        out_offsets = np.zeros(n + 1, dtype=np.int64)
-        in_offsets = np.zeros(n + 1, dtype=np.int64)
-        for v in vertices:
-            out_offsets[index[v] + 1] = graph.out_degree(v)
-            in_offsets[index[v] + 1] = graph.in_degree(v)
-        np.cumsum(out_offsets, out=out_offsets)
-        np.cumsum(in_offsets, out=in_offsets)
-        out_targets = np.empty(int(out_offsets[-1]), dtype=np.int64)
-        in_targets = np.empty(int(in_offsets[-1]), dtype=np.int64)
-        for v in vertices:
-            i = index[v]
-            start = int(out_offsets[i])
-            for k, w in enumerate(sorted(graph.out_neighbors(v))):
-                out_targets[start + k] = index[w]
-            start = int(in_offsets[i])
-            for k, w in enumerate(sorted(graph.in_neighbors(v))):
-                in_targets[start + k] = index[w]
-        return cls(
-            np.asarray(vertices, dtype=np.int64),
-            out_offsets,
-            out_targets,
-            in_offsets,
-            in_targets,
-        )
+        vertex_ids = np.asarray(vertices, dtype=np.int64)
+        adj_out = graph.adjacency(True)
+        adj_in = graph.adjacency(False)
+        # Distinct sorted ids spanning exactly 0..n-1 mean compaction is
+        # the identity — no per-edge id remapping needed at all.
+        compact = n == 0 or (vertices[0] == 0 and vertices[-1] == n - 1)
+
+        def _direction(adj):
+            # map/chain/list keep all per-vertex and per-edge iteration in
+            # C; a genexpr + np.fromiter here costs a Python frame per
+            # element and dominates the whole freeze.
+            lists = list(map(adj.__getitem__, vertices))
+            counts = np.fromiter(map(len, lists), dtype=np.int64, count=n)
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            raw = np.array(list(chain.from_iterable(lists)), dtype=np.int64)
+            targets = raw if compact else np.searchsorted(vertex_ids, raw)
+            # Sort neighbors within each vertex's segment: the segment ids
+            # are non-decreasing, so a stable sort keyed (segment, target)
+            # only permutes within segments.
+            segments = np.repeat(np.arange(n, dtype=np.int64), counts)
+            targets = targets[np.lexsort((targets, segments))]
+            return offsets, targets
+
+        out_offsets, out_targets = _direction(adj_out)
+        in_offsets, in_targets = _direction(adj_in)
+        return cls(vertex_ids, out_offsets, out_targets, in_offsets, in_targets)
 
     def thaw(self) -> DynamicDiGraph:
         """Rebuild an equivalent mutable graph."""
@@ -102,6 +125,24 @@ class CSRSnapshot:
 
     def has_vertex(self, v: int) -> bool:
         return v in self._index
+
+    def index_of(self, v: int) -> int:
+        """The compacted ``0..n-1`` index of original id ``v``."""
+        return self._index[v]
+
+    def indices_of(self, ids: Iterable[int]) -> np.ndarray:
+        """Vectorized :meth:`index_of` over a collection of original ids.
+
+        Uses one ``searchsorted`` when the id table is sorted (always true
+        for :meth:`freeze` output); every id must exist in the snapshot.
+        """
+        arr = np.fromiter(ids, dtype=np.int64)
+        if self._ids_sorted:
+            return np.searchsorted(self.vertex_ids, arr)
+        index = self._index
+        return np.fromiter(
+            (index[int(v)] for v in arr), dtype=np.int64, count=len(arr)
+        )
 
     def out_degree(self, v: int) -> int:
         i = self._index[v]

@@ -23,6 +23,7 @@ the stress tests exploit to replay a BFS oracle per answered version.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -32,6 +33,7 @@ from collections import deque
 
 from repro.baselines.base import ReachabilityMethod
 from repro.core.ifca import IFCAMethod
+from repro.graph import kernels
 from repro.graph.digraph import DynamicDiGraph
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock
@@ -78,6 +80,16 @@ class ReachabilityService:
         from submission, checked when a worker picks the query up.
     degrade_budget:
         Edge-access budget of the degraded bounded search.
+    use_kernels:
+        Freeze one CSR snapshot per graph version (lazily, on engine-stage
+        demand) so every search on that version runs the vectorized
+        kernels and all concurrent readers share the same arrays. Falls
+        back to pure dict serving when off or when numpy is absent.
+    csr_freeze_threshold:
+        How many engine-stage queries one graph version must attract
+        before its snapshot is frozen. 1 freezes eagerly on first demand;
+        larger values keep update-heavy phases (few queries per epoch)
+        from paying freezes that never amortize.
     """
 
     def __init__(
@@ -94,24 +106,34 @@ class ReachabilityService:
         rebuild_cooldown: int = 32,
         deadline_s: Optional[float] = None,
         degrade_budget: int = 2048,
+        use_kernels: bool = True,
+        csr_freeze_threshold: int = 2,
     ) -> None:
         self.graph = graph if graph is not None else DynamicDiGraph()
         factory = method_factory if method_factory is not None else IFCAMethod
         self.method = factory(self.graph)
         self.deadline_s = deadline_s
         self.degrade_budget = degrade_budget
+        self.use_kernels = use_kernels and kernels.kernels_enabled()
         self._lock = RWLock()
         self._pruner = FastPathPruner(
             self.graph,
             num_supportive=num_supportive,
             seed=seed,
             rebuild_cooldown=rebuild_cooldown,
+            csr_provider=(
+                (lambda: self.graph.csr(build=False)) if self.use_kernels else None
+            ),
         )
         self._cache = VersionedQueryCache(cache_capacity)
         self._stats = ServiceStats()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._num_workers = max(1, num_workers)
         self._closed = False
+        self._csr_lock = threading.Lock()
+        self._csr_threshold = max(1, csr_freeze_threshold)
+        self._csr_demand = 0
+        self._csr_demand_version = -1
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -261,6 +283,7 @@ class ReachabilityService:
             if deadline is not None and time.perf_counter() > deadline:
                 return self._degraded(source, target, version)
 
+            self._ensure_csr(version)
             start = time.perf_counter()
             answer, detail = self._run_engine(source, target)
             self._stats.observe_latency("engine", time.perf_counter() - start)
@@ -269,6 +292,33 @@ class ReachabilityService:
             return QueryOutcome(
                 source, target, answer, True, "engine", version, detail
             )
+
+    def _ensure_csr(self, version: int) -> None:
+        """Freeze one shared CSR snapshot per graph version, on demand.
+
+        Runs under the read lock, so the graph cannot move while freezing;
+        the dedicated mutex keeps concurrent readers from freezing the
+        same version twice. Demand below the threshold leaves the epoch on
+        the dict path — exactly the mid-churn fallback: a version that
+        never attracts enough engine-stage queries never pays a freeze.
+        """
+        if not self.use_kernels:
+            return
+        if self.graph.csr(build=False) is not None:
+            return
+        with self._csr_lock:
+            if self.graph.csr(build=False) is not None:
+                return
+            if self._csr_demand_version != version:
+                self._csr_demand_version = version
+                self._csr_demand = 0
+            self._csr_demand += 1
+            if self._csr_demand < self._csr_threshold:
+                return
+            start = time.perf_counter()
+            self.graph.csr(build=True)
+            self._stats.observe_latency("freeze", time.perf_counter() - start)
+            self._stats.incr("csr_freezes")
 
     def _run_engine(self, source: int, target: int) -> Tuple[bool, str]:
         engine = getattr(self.method, "engine", None)
@@ -312,10 +362,14 @@ class ReachabilityService:
         counters["sample_rebuilds"] = (  # type: ignore[index]
             self._pruner.sample_rebuilds
         )
+        counters["kernel_sample_rebuilds"] = (  # type: ignore[index]
+            self._pruner.kernel_rebuilds
+        )
         snapshot["graph"] = {
             "num_vertices": self.graph.num_vertices,
             "num_edges": self.graph.num_edges,
             "version": self.graph.version,
+            "csr_cached": self.graph.csr(build=False) is not None,
         }
         return snapshot
 

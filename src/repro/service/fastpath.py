@@ -37,8 +37,9 @@ import random
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.graph import kernels
 from repro.graph.dag import DynamicDAG
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.traversal import bfs_reachable, reverse_bfs_reachable
@@ -116,11 +117,18 @@ class FastPathPruner:
         num_supportive: int = 4,
         seed: int = 0,
         rebuild_cooldown: int = 32,
+        csr_provider: Optional[Callable[[], object]] = None,
     ) -> None:
         self.graph = graph
         self.dag = DynamicDAG(graph)
         self.num_supportive = num_supportive
         self.rebuild_cooldown = rebuild_cooldown
+        #: Supplies the engine's frozen current-version CSR snapshot (or
+        #: ``None`` mid-churn); supportive-set rebuilds run on it via the
+        #: vectorized reachable-set kernel instead of re-walking dict
+        #: adjacency. The service wires this to ``graph.csr(build=False)``.
+        self._csr_provider = csr_provider
+        self.kernel_rebuilds = 0
         self._rng = random.Random(seed)
         self._level: Dict[int, int] = {}
         self._rebuild_levels()
@@ -244,8 +252,16 @@ class FastPathPruner:
     # ------------------------------------------------------------------
     def _build_samples(self) -> _SampleSets:
         vertices = _choose_supportive(self.graph, self.num_supportive, self._rng)
-        fwd = {x: bfs_reachable(self.graph, x) for x in vertices}
-        bwd = {x: reverse_bfs_reachable(self.graph, x) for x in vertices}
+        snapshot = None
+        if self._csr_provider is not None and kernels.kernels_enabled():
+            snapshot = self._csr_provider()
+        if snapshot is not None:
+            fwd = kernels.csr_multi_reachable_sets(snapshot, vertices, True)
+            bwd = kernels.csr_multi_reachable_sets(snapshot, vertices, False)
+            self.kernel_rebuilds += 1
+        else:
+            fwd = {x: bfs_reachable(self.graph, x) for x in vertices}
+            bwd = {x: reverse_bfs_reachable(self.graph, x) for x in vertices}
         return _SampleSets(vertices, fwd, bwd)
 
     def _extend_samples(self, u: int, v: int) -> None:

@@ -17,8 +17,9 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Tuple
 
-#: Pipeline stages tracked by the latency histograms.
-STAGES = ("fastpath", "cache", "engine", "degraded", "update")
+#: Pipeline stages tracked by the latency histograms. ``freeze`` is the
+#: per-epoch CSR snapshot build the kernel path amortizes over queries.
+STAGES = ("fastpath", "cache", "engine", "degraded", "update", "freeze")
 
 _BUCKETS = 40  # 2**40 us ~ 12.7 days; effectively unbounded
 
