@@ -13,24 +13,37 @@ import pytest
 from repro.datasets.registry import COMMUNITY, REGISTRY, load_analog
 from repro.dynamic.events import materialize
 from repro.experiments.optimizations import run_optimization_ladder
+from repro.graph import kernels
 
 from benchmarks.conftest import once
 
 DATASETS = ["EN", "FL", "WT"]
 
 
+@pytest.mark.parametrize("substrate", ["dict", "kernel"])
 @pytest.mark.parametrize("code", DATASETS)
-def test_fig07_optimization_ladder(benchmark, emit, code):
+def test_fig07_optimization_ladder(benchmark, emit, code, substrate):
+    use_kernels = substrate == "kernel"
+    if use_kernels and not kernels.kernels_enabled():
+        pytest.skip("CSR kernels unavailable")
     _, initial, stream = load_analog(code, seed=0)
     graph = materialize(initial, stream)
     rows = once(
-        benchmark, run_optimization_ladder, graph, num_queries=50, seed=5
+        benchmark,
+        run_optimization_ladder,
+        graph,
+        num_queries=50,
+        seed=5,
+        use_kernels=use_kernels,
     )
     for row in rows:
         row["dataset"] = code
+        row["substrate"] = substrate
+    suffix = "_kernel" if use_kernels else ""
     emit(
-        f"fig07_{code}",
-        f"precision vs avg query time of Base/Contract/IFCA on the {code} analog",
+        f"fig07_{code}{suffix}",
+        f"precision vs avg query time of Base/Contract/IFCA on the {code} "
+        f"analog ({substrate} substrate)",
         rows,
     )
     by_method = {r["method"]: r for r in rows}

@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument(
         "--method", choices=sorted(METHOD_FACTORIES), default="ifca"
     )
+    q.add_argument(
+        "--kernels",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="freeze a CSR snapshot up front so the query runs on the "
+        "vectorized kernels (--no-kernels pins the dict path)",
+    )
     q.set_defaults(func=cmd_query)
 
     s = sub.add_parser("stats", help="print basic statistics of a graph")
@@ -106,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the guided-push : BiBFS per-operation time ratio",
     )
     l.add_argument("--repetitions", type=int, default=5)
+    l.add_argument(
+        "--push-kernels",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="time the array-state push drain instead of the dict twin "
+        "(requires numpy)",
+    )
     l.set_defaults(func=cmd_calibrate)
 
     r = sub.add_parser(
@@ -157,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized kernels (--no-kernels forces the dict path)",
     )
     sb.add_argument(
+        "--push-kernels",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the IFCA guided phase on the array-state push kernels "
+        "(--no-push-kernels keeps only the BiBFS read-path kernels)",
+    )
+    sb.add_argument(
         "--freeze-threshold",
         type=int,
         default=2,
@@ -183,8 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.params import IFCAParams
+    from repro.graph import kernels
+
     graph = read_edge_list(args.graph)
-    method = METHOD_FACTORIES[args.method](graph)
+    use_kernels = args.kernels and kernels.kernels_enabled()
+    if use_kernels:
+        graph.csr()  # freeze once so every kernel path can engage
+    if args.method == "ifca":
+        method = IFCAMethod(graph, IFCAParams(use_kernels=use_kernels))
+    else:
+        method = METHOD_FACTORIES[args.method](graph)
     reachable = method.query(args.source, args.target)
     print(
         f"{args.source} -> {args.target}: "
@@ -302,6 +332,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         deadline_s=deadline_s,
         use_kernels=args.kernels,
+        push_kernels=args.push_kernels,
         csr_freeze_threshold=args.freeze_threshold,
     ) as service:
         result = replay_workload(service, ops, deadline_s=deadline_s)
@@ -337,8 +368,11 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.experiments.lambda_calibration import calibrate_lambda
 
-    ratio = calibrate_lambda(repetitions=args.repetitions)
-    print(f"lambda (guided-push op time / BiBFS op time): {ratio:.2f}")
+    ratio = calibrate_lambda(
+        repetitions=args.repetitions, push_kernels=args.push_kernels
+    )
+    path = "array push kernel" if args.push_kernels else "dict guided push"
+    print(f"lambda ({path} op time / BiBFS op time): {ratio:.2f}")
     return 0
 
 

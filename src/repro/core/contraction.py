@@ -22,6 +22,13 @@ query:
   reachable set has been enumerated completely without meeting the other
   side, proving the query negative (a safe strengthening of Alg. 2's
   line 16, which waits for *both* sides to exhaust).
+
+This module is the *authoritative* semantics. On the array-state path,
+:func:`repro.core.array_search.array_community_contraction` performs the
+same merge as an O(|community| + boundary edges) pass over the CSR rows —
+a vertex-remap array plus an overlay edge buffer composed at gather time,
+with the same four outcomes detected vectorized — and is held equivalent
+by ``tests/test_push_kernels.py``.
 """
 
 from __future__ import annotations

@@ -136,13 +136,20 @@ class CostModel:
 
     # ------------------------------------------------------------------
     def evaluate(self, ctx: SearchContext) -> CostEstimate:
-        """Alg. 6: the projected costs of the two strategies right now."""
+        """Alg. 6: the projected costs of the two strategies right now.
+
+        ``ctx`` may be either context flavour (dict
+        :class:`~repro.core.state.SearchContext` or the array-state twin);
+        the model only reads the ``progress()`` protocol plus the reduced
+        size counters.
+        """
         p = self.params
+        explored_f, explored_r, int_f, int_r, _ = ctx.progress()
         # n_reduced already excludes contracted vertices; subtracting the
         # currently explored (not yet contracted) ones gives the paper's
         # "n minus the number of explored vertices".
-        n_f = max(ctx.n_reduced - len(ctx.fwd.explored), 1)
-        n_r = max(ctx.n_reduced - len(ctx.rev.explored), 1)
+        n_f = max(ctx.n_reduced - explored_f, 1)
+        n_r = max(ctx.n_reduced - explored_r, 1)
         k_f = self.k_upper_bound(n_f)
         k_r = self.k_upper_bound(n_r)
         projected_n = n_f / k_f + n_r / k_r
@@ -156,9 +163,9 @@ class CostModel:
             ops_guided *= self.d_avg
         cost_guided = 2.0 * p.lambda_ratio * ops_guided
 
-        explored = len(ctx.fwd.explored) + len(ctx.rev.explored)
+        explored = explored_f + explored_r
         v_prime = max(ctx.n_reduced - explored, 0)
-        e_prime = max(ctx.m_reduced - ctx.fwd.int_edges - ctx.rev.int_edges, 0)
+        e_prime = max(ctx.m_reduced - int_f - int_r, 0)
         cost_bibfs = float(v_prime + e_prime)
 
         return CostEstimate(
@@ -171,8 +178,7 @@ class CostModel:
 
     def should_switch(self, ctx: SearchContext) -> bool:
         """Whether Alg. 2 should break its loop and hand over to BiBFS."""
-        fwd, rev = ctx.fwd, ctx.rev
-        if not fwd.explored and not rev.explored and not fwd.merged and not rev.merged:
+        if not ctx.progress()[4]:
             return self.initial_switch_decision(
                 ctx.n_reduced, ctx.m_reduced, ctx.epsilon_cur
             )

@@ -27,6 +27,14 @@ Implementation note: this is the hottest loop in the package, so the
 adjacency map, overlay, and per-style weighting are all bound to locals —
 the measured per-operation ratio against BiBFS (the cost model's
 ``lambda``) depends directly on this loop's constant factor.
+
+This module is the *authoritative* semantics. When a current CSR
+snapshot exists, :func:`repro.core.array_search.array_guided_search`
+drains the same rung with whole-frontier numpy sweeps
+(:func:`repro.graph.kernels.csr_push_drain`); it is held
+answer-equivalent to this loop by ``tests/test_push_kernels.py`` and
+shares the counter contract (one push per expansion, one edge access
+per adjacency entry).
 """
 
 from __future__ import annotations

@@ -27,6 +27,12 @@ from typing import Optional, Tuple
 
 from repro.baselines.base import ReachabilityMethod
 from repro.baselines.bibfs import bibfs_is_reachable
+from repro.core.array_search import (
+    ArraySearchContext,
+    array_community_contraction,
+    array_frontier_bibfs,
+    array_guided_search,
+)
 from repro.core.bibfs import frontier_bibfs
 from repro.core.contraction import ContractionOutcome, community_contraction
 from repro.core.cost import CostModel
@@ -34,6 +40,7 @@ from repro.core.guided import guided_search
 from repro.core.params import EPSILON_FLOOR, IFCAParams
 from repro.core.state import SearchContext
 from repro.core.stats import QueryStats
+from repro.graph import kernels
 from repro.graph.digraph import DynamicDiGraph
 
 
@@ -118,22 +125,32 @@ class IFCA:
             )
             return self._finish(stats, met, "bibfs")
 
-        ctx = SearchContext(self.graph, params, source, target)
+        # Array-state dispatch: when both kernel switches are on and a
+        # current-version snapshot is already frozen, the whole guided
+        # phase (drains, contraction, hand-off) runs on the array twins;
+        # otherwise — numpy absent, kernels off, or a mid-churn graph
+        # whose snapshot is stale — the dict twins answer identically.
+        ctx = self._make_context(params, source, target)
+        if isinstance(ctx, ArraySearchContext):
+            stats.used_push_kernel = True
+            guided, contract = array_guided_search, array_community_contraction
+        else:
+            guided, contract = guided_search, community_contraction
 
         while True:
             stats.rounds += 1
             if self._should_switch(ctx, cost_model, stats.rounds, params):
                 break
-            if guided_search(ctx, ctx.fwd, stats):
+            if guided(ctx, ctx.fwd, stats):
                 return self._finish(stats, True, "guided")
-            outcome = community_contraction(ctx, ctx.fwd, stats)
+            outcome = contract(ctx, ctx.fwd, stats)
             if outcome is ContractionOutcome.MEET:
                 return self._finish(stats, True, "contraction")
             if outcome is ContractionOutcome.EXHAUSTED:
                 return self._finish(stats, False, "exhausted")
-            if guided_search(ctx, ctx.rev, stats):
+            if guided(ctx, ctx.rev, stats):
                 return self._finish(stats, True, "guided")
-            outcome = community_contraction(ctx, ctx.rev, stats)
+            outcome = contract(ctx, ctx.rev, stats)
             if outcome is ContractionOutcome.MEET:
                 return self._finish(stats, True, "contraction")
             if outcome is ContractionOutcome.EXHAUSTED:
@@ -142,8 +159,23 @@ class IFCA:
 
         # BiBFS takes over from the current frontiers (Alg. 2 lines 18-20).
         stats.switched_to_bibfs = True
-        met = frontier_bibfs(ctx, ctx.frontier(ctx.fwd), ctx.frontier(ctx.rev), stats)
+        if isinstance(ctx, ArraySearchContext):
+            met = array_frontier_bibfs(ctx, stats)
+        else:
+            met = frontier_bibfs(
+                ctx, ctx.frontier(ctx.fwd), ctx.frontier(ctx.rev), stats
+            )
         return self._finish(stats, met, "bibfs")
+
+    def _make_context(self, params, source: int, target: int):
+        """Pick the array-state context when its preconditions hold."""
+        if params.use_kernels and params.use_push_kernels and kernels.kernels_enabled():
+            snapshot = self.graph.csr(build=False)
+            if snapshot is not None:
+                return ArraySearchContext(
+                    self.graph, snapshot, params, source, target
+                )
+        return SearchContext(self.graph, params, source, target)
 
     # ------------------------------------------------------------------
     def _should_switch(

@@ -66,6 +66,13 @@ class IFCAParams:
     #: Semantics are identical either way; turning this off forces the dict
     #: path even when a snapshot is available (the A/B harness does).
     use_kernels: bool = True
+    #: Additionally run the guided search itself (Alg. 3 drains, Alg. 4
+    #: contraction, the Alg. 5 hand-off) on the array-state kernels
+    #: (:mod:`repro.core.array_search`) when a snapshot is frozen. Requires
+    #: ``use_kernels``; turning only this off keeps the BiBFS read-path
+    #: kernels while pinning the guided phase to the dict twin (the push
+    #: A/B harness does exactly that).
+    use_push_kernels: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -116,6 +123,7 @@ class IFCAParams:
             force_switch_round=self.force_switch_round,
             max_rounds=self.max_rounds,
             use_kernels=self.use_kernels,
+            use_push_kernels=self.use_push_kernels,
         )
 
 
@@ -136,3 +144,4 @@ class ResolvedParams:
     force_switch_round: Optional[int]
     max_rounds: int
     use_kernels: bool = True
+    use_push_kernels: bool = True

@@ -160,6 +160,31 @@ class SearchContext:
         return max(d, 1)
 
     # ------------------------------------------------------------------
+    # Cost-model progress protocol (shared with ArraySearchContext)
+    # ------------------------------------------------------------------
+    def progress(self) -> "tuple[int, int, int, int, bool]":
+        """``(explored_f, explored_r, int_edges_f, int_edges_r, started)``.
+
+        The five numbers Alg. 6 reads each round. ``started`` is whether
+        any exploration or contraction has happened yet — while it is
+        ``False`` the decision depends only on ``(n, m, epsilon_cur)`` and
+        the cost model may use its memoized round-1 answer. The array-state
+        context (:class:`repro.core.array_search.ArraySearchContext`)
+        implements the same protocol, which is all the cost model needs.
+        """
+        fwd, rev = self.fwd, self.rev
+        started = bool(
+            fwd.explored or rev.explored or fwd.merged or rev.merged
+        )
+        return (
+            len(fwd.explored),
+            len(rev.explored),
+            fwd.int_edges,
+            rev.int_edges,
+            started,
+        )
+
+    # ------------------------------------------------------------------
     # Frontier for the BiBFS hand-off (Alg. 2 lines 18-19)
     # ------------------------------------------------------------------
     def frontier(self, state: DirectionState) -> List[int]:

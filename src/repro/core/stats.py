@@ -39,6 +39,13 @@ class QueryStats:
     merged_reverse: int = 0
     #: Whether the BiBFS phase ran on the vectorized CSR kernel.
     used_kernel: bool = False
+    #: Whether the guided phase ran on the array-state push kernels
+    #: (:mod:`repro.core.array_search`). The counter contract is shared:
+    #: ``push_operations`` counts vertex expansions and
+    #: ``guided_edge_accesses`` counts adjacency entries scanned, in the
+    #: same units on the dict and array paths (lambda calibration relies
+    #: on it).
+    used_push_kernel: bool = False
 
     @property
     def edge_accesses(self) -> int:
@@ -63,3 +70,5 @@ class QueryStats:
             self.switched_to_bibfs = True
         if other.used_kernel:
             self.used_kernel = True
+        if other.used_push_kernel:
+            self.used_push_kernel = True

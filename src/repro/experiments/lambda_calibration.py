@@ -18,11 +18,13 @@ import time
 from typing import Optional, Tuple
 
 from repro.baselines.bibfs import bibfs_is_reachable
+from repro.core.array_search import ArraySearchContext, array_guided_search
 from repro.core.guided import guided_search
 from repro.core.params import IFCAParams
 from repro.core.state import SearchContext
 from repro.core.stats import QueryStats
 from repro.datasets.sbm import two_block_sbm
+from repro.graph import kernels
 from repro.graph.digraph import DynamicDiGraph
 
 
@@ -30,12 +32,19 @@ def calibrate_lambda(
     graph: Optional[DynamicDiGraph] = None,
     repetitions: int = 5,
     epsilon: float = 1e-6,
+    push_kernels: bool = False,
 ) -> float:
     """Measure the guided-push : BiBFS per-operation time ratio.
 
     Runs both searches to (near) completion from a fixed vertex pair so
     each performs thousands of basic operations, then divides the per-edge-
     access times. Returns a ratio >= 0.1 (clamped for sanity).
+
+    ``push_kernels`` times the array-state drain instead of the dict twin
+    (requires numpy; the graph is frozen first). Both paths report the
+    same counter units — one edge access per adjacency entry scanned — so
+    the resulting ratios are directly comparable: the kernel's smaller
+    lambda is exactly what shifts the Alg. 6 switch point in its favor.
     """
     if graph is None:
         graph = two_block_sbm(400, 8.0, seed=11)
@@ -51,11 +60,19 @@ def calibrate_lambda(
     params = IFCAParams(
         epsilon_pre=epsilon, epsilon_init=epsilon, use_cost_model=False
     ).resolve(graph)
+    if push_kernels:
+        if not kernels.kernels_enabled():
+            raise RuntimeError(
+                "push_kernels calibration requires numpy-backed kernels"
+            )
+        graph.csr()
 
     # Warm caches (adjacency lists, code paths) before timing.
-    _time_guided(graph, params, source, target, 1)
+    _time_guided(graph, params, source, target, 1, push_kernels)
     _time_bibfs(graph, source, target, 1)
-    push_time, push_ops = _time_guided(graph, params, source, target, repetitions)
+    push_time, push_ops = _time_guided(
+        graph, params, source, target, repetitions, push_kernels
+    )
     bfs_time, bfs_ops = _time_bibfs(graph, source, target, repetitions)
     if push_ops == 0 or bfs_ops == 0:
         return 1.0
@@ -67,16 +84,30 @@ def calibrate_lambda(
 
 
 def _time_guided(
-    graph: DynamicDiGraph, params, source: int, target: int, repetitions: int
+    graph: DynamicDiGraph,
+    params,
+    source: int,
+    target: int,
+    repetitions: int,
+    push_kernels: bool = False,
 ) -> Tuple[float, int]:
     total_time = 0.0
     total_ops = 0
     for _ in range(repetitions):
-        ctx = SearchContext(graph, params, source, target)
-        ctx.epsilon_cur = params.epsilon_pre
-        stats = QueryStats()
-        start = time.perf_counter()
-        guided_search(ctx, ctx.fwd, stats)
+        if push_kernels:
+            ctx = ArraySearchContext(
+                graph, graph.csr(build=False), params, source, target
+            )
+            ctx.epsilon_cur = params.epsilon_pre
+            stats = QueryStats()
+            start = time.perf_counter()
+            array_guided_search(ctx, ctx.fwd, stats)
+        else:
+            ctx = SearchContext(graph, params, source, target)
+            ctx.epsilon_cur = params.epsilon_pre
+            stats = QueryStats()
+            start = time.perf_counter()
+            guided_search(ctx, ctx.fwd, stats)
         total_time += time.perf_counter() - start
         total_ops += stats.guided_edge_accesses
     return total_time, total_ops

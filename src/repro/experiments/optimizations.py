@@ -30,8 +30,17 @@ def run_optimization_ladder(
     seed: int = 0,
     alpha: float = 0.1,
     base_params: Optional[IFCAParams] = None,
+    use_kernels: bool = False,
 ) -> List[Dict[str, Any]]:
-    """Fig. 7 rows: method, achieved precision, avg query time (ms)."""
+    """Fig. 7 rows: method, achieved precision, avg query time (ms).
+
+    ``use_kernels`` freezes the graph's CSR snapshot up front so the
+    Contract/IFCA rows run on the vectorized substrate (array-state guided
+    phase included, unless ``base_params`` switches it off); the baseline
+    push rows always use the scalar path the paper's Alg. 1 describes.
+    """
+    if use_kernels:
+        graph.csr()
     batch = label_queries(graph, generate_queries(graph, num_queries, seed=seed))
     rows: List[Dict[str, Any]] = []
     rows.extend(_baseline_rows(graph, batch, alpha))

@@ -1,21 +1,32 @@
-"""Vectorized CSR traversal kernels for the query hot path.
+"""Vectorized CSR traversal and push kernels for the query hot path.
 
 The dict-of-lists :class:`~repro.graph.digraph.DynamicDiGraph` is the
 mutable source of truth, but its hot read loops (frontier BiBFS,
-supportive-set construction, sweep scans) pay Python-interpreter cost per
-*edge*. These kernels run the same algorithms over a frozen
+supportive-set construction, sweep scans, and — since the push kernels —
+the Alg. 3 probability-guided drain itself) pay Python-interpreter cost
+per *edge*. These kernels run the same algorithms over a frozen
 :class:`~repro.graph.snapshot.CSRSnapshot` with numpy whole-frontier
-operations, paying interpreter cost per *layer* instead — the flat-array
-adjacency O'Reach demonstrates dominates pointer-chasing representations.
+operations, paying interpreter cost per *layer* (or per *drain sweep*)
+instead — the flat-array adjacency O'Reach demonstrates dominates
+pointer-chasing representations.
 
 Contract
 --------
 * Every kernel is answer-equivalent to its dict twin on the same snapshot
-  (asserted by ``tests/test_kernels.py`` and the equivalence harness in
-  ``benchmarks/bench_kernels.py``); only edge-access *counts* may differ,
-  because whole-layer expansion cannot early-exit mid-layer.
-* Kernels never mutate the snapshot; all state (visited masks, frontiers)
-  is per-call scratch.
+  (asserted by ``tests/test_kernels.py``, ``tests/test_push_kernels.py``
+  and the equivalence harnesses in ``benchmarks/bench_kernels.py`` /
+  ``benchmarks/bench_push_kernel.py``); only edge-access *counts* may
+  differ, because whole-layer expansion cannot early-exit mid-layer.
+* The push-drain kernels (:func:`csr_push_drain`,
+  :func:`csr_forward_push_drain`, :func:`csr_backward_push_drain`) are
+  additionally *state-deterministic*: their sweep-synchronous semantics
+  are pinned down exactly (dangling pass, sorted-frontier selection,
+  epsilon-bucketed greedy filter, budget truncation, gather order, one
+  ``np.add.at`` scatter per sweep) so a scalar re-statement of the same
+  sweeps reproduces their residue/visited/explored arrays bitwise — the
+  A/B leg ``tests/test_push_kernels.py`` runs.
+* Kernels never mutate the snapshot; all state (visited masks, frontiers,
+  residue arrays) is caller-owned or per-call scratch.
 * numpy is optional. :data:`HAVE_NUMPY` is ``False`` when the import
   fails — or when ``REPRO_NO_NUMPY`` is set in the environment, which lets
   CI prove the dict fallback stays green on a machine that *does* have
@@ -141,6 +152,322 @@ def _expand(offsets, targets, frontier, visited, other_visited, scratch):
     if not pieces:
         return False, nbrs[:0], total
     return False, _dedup(np.concatenate(pieces), scratch), total
+
+
+def gather_rows(offsets, targets, frontier):
+    """Public alias of :func:`_gather` for the array-state search layer.
+
+    ``frontier`` must contain compacted indices within the CSR (no super
+    slots); the result concatenates the adjacency rows in frontier order.
+    """
+    return _gather(offsets, targets, frontier)
+
+
+# ----------------------------------------------------------------------
+# Guided-search push drain (Alg. 3 on array state)
+# ----------------------------------------------------------------------
+
+#: Greedy sweeps keep every frontier vertex whose score is within this
+#: factor of the sweep's maximum (an epsilon-bucketed approximation of the
+#: lazy max-heap: strictly highest-first ordering would serialize the
+#: drain back to one vertex per sweep and lose all vectorization).
+GREEDY_BUCKET = 4.0
+
+
+def csr_push_drain(
+    offsets,
+    targets,
+    deg,
+    opp_deg,
+    remap,
+    overlay,
+    super_slot,
+    cand,
+    residue,
+    visited,
+    explored,
+    other_visited,
+    epsilon,
+    alpha,
+    forward_style,
+    greedy,
+    push_budget,
+):
+    """One Alg. 3 drain as sweep-synchronous whole-frontier array passes.
+
+    State layout (see :mod:`repro.core.array_search`): all state arrays are
+    sized ``n + 2`` over the snapshot's compacted indices plus two super
+    slots; ``remap`` maps stored CSR target indices to their current
+    reduced-graph representative (``None`` until the first contraction —
+    identity — after which it must cover every stored index and slot), and
+    ``overlay`` is the stored adjacency of this direction's super-vertex
+    (already remapped ids). ``deg`` holds reduced-graph directional
+    degrees, ``opp_deg`` the clamped raw degrees against the direction
+    (the backward-push divisor — raw, not lumped, exactly like the dict
+    twin); both may be the plain length-``n`` tables while no contraction
+    has happened (no slot is indexable before one exists).
+
+    ``cand`` is the drain's sorted candidate list — a superset of every
+    index with positive residue. Sweeps scan only it, never the whole
+    state arrays, so a drain costs O(touched + edges), not O(n * sweeps);
+    the updated candidate list is handed back for the next drain (residue
+    only ever lands on scattered receivers, so the superset invariant is
+    maintained by construction).
+
+    Each sweep:
+
+    1. drop drained candidates; zero the residue of dangling candidates
+       (``deg == 0``) and mark them explored — their mass can never move
+       (the dict twin's inline rule);
+    2. select the whole pushable frontier, sorted ascending (forward
+       style: ``residue >= epsilon * deg``; backward: ``residue >=
+       epsilon``), keeping only the top epsilon-bucket under ``greedy``
+       and truncating to the remaining ``push_budget``;
+    3. mark the frontier explored, zero its residues, gather its CSR rows
+       (plus ``overlay`` when the super slot is in the frontier), compose
+       ``remap`` over the gathered targets, and drop same-representative
+       self-loops;
+    4. meet-test every not-yet-visited receiver against ``other_visited``
+       — a hit returns immediately (the sweep's visited marks are *not*
+       applied; the query is over) — then mark receivers visited;
+    5. scatter the distributed residue with one ``np.add.at``
+       (forward: ``(1-alpha) * r_u / deg[u]`` per edge; backward:
+       ``(1-alpha) * r_u / opp_deg[raw_receiver]``) and merge the
+       receivers into the candidate list.
+
+    Push is not order-confluent, so visited/explored sets may differ from
+    the lazy-heap dict twin's — both are sound, verdicts agree (the A/B
+    harness asserts it). Counters use the shared contract: one push per
+    vertex expansion, one edge access per adjacency entry gathered.
+
+    Returns ``(met, cand, pushes, edge_accesses, int_edges,
+    explored_added)``.
+    """
+    one_minus_alpha = 1.0 - alpha
+    pushes = 0
+    edge_accesses = 0
+    int_edges = 0
+    explored_added = 0
+    n_base = len(offsets) - 1
+    has_remap = remap is not None
+
+    while True:
+        # (1) candidate upkeep: drop drained, park dangling residue.
+        r_cand = residue[cand]
+        alive = r_cand > 0.0
+        cand = cand[alive]
+        r_cand = r_cand[alive]
+        cand_deg = deg[cand]
+        if not cand_deg.all():
+            dmask = cand_deg == 0.0
+            dangling = cand[dmask]
+            residue[dangling] = 0.0
+            newly = dangling[~explored[dangling]]
+            explored[newly] = True
+            explored_added += len(newly)
+            live = ~dmask
+            cand = cand[live]
+            r_cand = r_cand[live]
+            cand_deg = cand_deg[live]
+
+        # (2) frontier selection (cand is sorted ascending, so the super
+        # slot — the highest live index — lands last). ``r_cand`` stays
+        # valid as the frontier residues: nothing below mutates ``residue``
+        # at a frontier index before the capture point.
+        sel = r_cand >= (epsilon * cand_deg if forward_style else epsilon)
+        frontier = cand[sel]
+        if len(frontier) == 0:
+            break
+        r_front = r_cand[sel]
+        deg_front = cand_deg[sel]
+        if greedy:
+            scores = r_front / deg_front if forward_style else r_front
+            gmask = scores >= scores.max() / GREEDY_BUCKET
+            frontier = frontier[gmask]
+            r_front = r_front[gmask]
+            deg_front = deg_front[gmask]
+        budget_stop = pushes + len(frontier) >= push_budget
+        if budget_stop:
+            take = max(push_budget - pushes, 0)
+            if take == 0:
+                break
+            frontier = frontier[:take]
+            r_front = r_front[:take]
+            deg_front = deg_front[:take]
+        pushes += len(frontier)
+
+        # (3) expand: explored bookkeeping, residue capture, gather.
+        nmask = ~explored[frontier]
+        newly = frontier[nmask]
+        explored[newly] = True
+        explored_added += len(newly)
+        int_edges += int(deg_front[nmask].sum())
+        residue[frontier] = 0.0
+
+        # The super slot can only sit in the frontier once a remap exists.
+        real = frontier[frontier < n_base] if has_remap else frontier
+        starts = offsets[real]
+        counts = offsets[real + 1] - starts
+        total = int(counts.sum())
+        if total:
+            cum = np.cumsum(counts)
+            idx = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - (cum - counts), counts
+            )
+            raw = targets[idx]
+        else:
+            raw = targets[:0]
+        src = np.repeat(real, counts)
+        r_src = np.repeat(r_front[: len(real)], counts)
+        if len(real) != len(frontier) and len(overlay):
+            # Super slot in the frontier: its stored adjacency rides along.
+            raw = np.concatenate([raw, overlay])
+            src = np.concatenate(
+                [src, np.full(len(overlay), super_slot, dtype=np.int64)]
+            )
+            r_src = np.concatenate(
+                [r_src, np.full(len(overlay), r_front[-1])]
+            )
+        edge_accesses += len(raw)
+        if len(raw) == 0:
+            if budget_stop:
+                break
+            continue
+        recv = remap[raw] if has_remap else raw
+        keep = recv != src
+        if not keep.all():
+            recv = recv[keep]
+            raw = raw[keep]
+            src = src[keep]
+            r_src = r_src[keep]
+        if len(recv) == 0:
+            if budget_stop:
+                break
+            continue
+
+        # (4) meet test against the pre-sweep visited state, then mark.
+        unseen = recv[~visited[recv]]
+        if len(unseen) and other_visited[unseen].any():
+            return True, cand, pushes, edge_accesses, int_edges, explored_added
+        visited[unseen] = True
+
+        # (5) distribute and fold the receivers into the candidate list.
+        if forward_style:
+            np.add.at(residue, recv, one_minus_alpha * r_src / deg[src])
+        else:
+            np.add.at(
+                residue, recv, one_minus_alpha * r_src / opp_deg[raw]
+            )
+        cand = np.unique(np.concatenate([cand, recv]))
+        if budget_stop:
+            break
+
+    return False, cand, pushes, edge_accesses, int_edges, explored_added
+
+
+# ----------------------------------------------------------------------
+# PPR push drains (forward / backward push on plain CSR, no overlay)
+# ----------------------------------------------------------------------
+def csr_forward_push_drain(
+    offsets, targets, residue, reserve, alpha, epsilon, max_operations=None
+):
+    """Forward push (ACL06) to quiescence as whole-frontier sweeps.
+
+    ``residue`` / ``reserve`` are dense float64 arrays over compacted
+    indices, mutated in place. Each sweep pushes *every* vertex with
+    ``residue >= epsilon * d_out`` at once: reserve takes ``alpha * r``,
+    one gather + ``np.add.at`` scatters ``(1-alpha) * r / d_out`` along
+    the out-edges. Dangling residue becomes reserve (the walk halts).
+    Terminates within Lemma 1's ``1/(alpha*epsilon)`` edge accesses —
+    the bound is order-free, so it holds for sweeps too.
+
+    Returns ``(pushes, edge_accesses)`` in the shared counter units.
+    """
+    deg = (offsets[1:] - offsets[:-1]).astype(np.float64)
+    one_minus_alpha = 1.0 - alpha
+    pushes = 0
+    edge_accesses = 0
+    while True:
+        dangling = np.flatnonzero((residue > 0.0) & (deg == 0.0))
+        if len(dangling):
+            reserve[dangling] += residue[dangling]
+            residue[dangling] = 0.0
+        frontier = np.flatnonzero((deg > 0.0) & (residue >= epsilon * deg))
+        if len(frontier) == 0:
+            break
+        budget_stop = (
+            max_operations is not None
+            and pushes + len(frontier) >= max_operations
+        )
+        if budget_stop:
+            frontier = frontier[: max(max_operations - pushes, 0)]
+            if len(frontier) == 0:
+                break
+        pushes += len(frontier)
+        r_front = residue[frontier].copy()
+        reserve[frontier] += alpha * r_front
+        residue[frontier] = 0.0
+        counts = offsets[frontier + 1] - offsets[frontier]
+        nbrs = _gather(offsets, targets, frontier)
+        edge_accesses += len(nbrs)
+        np.add.at(
+            residue,
+            nbrs,
+            np.repeat(one_minus_alpha * r_front / counts, counts),
+        )
+        if budget_stop:
+            break
+    return pushes, edge_accesses
+
+
+def csr_backward_push_drain(
+    in_offsets,
+    in_targets,
+    out_deg,
+    residue,
+    reserve,
+    alpha,
+    epsilon,
+    max_operations=None,
+):
+    """Backward push (contributions) to quiescence as sweeps.
+
+    ``out_deg`` is the float64 out-degree table (the receiver-side
+    divisor; every in-neighbor has out-degree >= 1 by construction).
+    Mirrors the scalar twin: a vertex with ``residue >= epsilon`` is
+    pushed even when it has no in-edges (the push is counted; nothing is
+    distributed). Returns ``(pushes, edge_accesses)``.
+    """
+    one_minus_alpha = 1.0 - alpha
+    pushes = 0
+    edge_accesses = 0
+    while True:
+        frontier = np.flatnonzero(residue >= epsilon)
+        if len(frontier) == 0:
+            break
+        budget_stop = (
+            max_operations is not None
+            and pushes + len(frontier) >= max_operations
+        )
+        if budget_stop:
+            frontier = frontier[: max(max_operations - pushes, 0)]
+            if len(frontier) == 0:
+                break
+        pushes += len(frontier)
+        r_front = residue[frontier].copy()
+        reserve[frontier] += alpha * r_front
+        residue[frontier] = 0.0
+        counts = in_offsets[frontier + 1] - in_offsets[frontier]
+        nbrs = _gather(in_offsets, in_targets, frontier)
+        edge_accesses += len(nbrs)
+        np.add.at(
+            residue,
+            nbrs,
+            np.repeat(one_minus_alpha * r_front, counts) / out_deg[nbrs],
+        )
+        if budget_stop:
+            break
+    return pushes, edge_accesses
 
 
 # ----------------------------------------------------------------------

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.graph import kernels
 from repro.graph.digraph import DynamicDiGraph
-from repro.ppr.common import PushConfig, PushState, Worklist
+from repro.ppr.common import PushConfig, PushState, Worklist, state_from_arrays, state_to_arrays
 
 
 def backward_push(
@@ -29,11 +30,15 @@ def backward_push(
     config: Optional[PushConfig] = None,
     state: Optional[PushState] = None,
     max_operations: Optional[int] = None,
+    use_kernels: bool = True,
 ) -> PushState:
     """Run backward push toward ``target`` until no vertex is pushable.
 
     As with forward push, re-invoking with a smaller epsilon resumes the
-    computation.
+    computation, and the drain dispatches to
+    :func:`repro.graph.kernels.csr_backward_push_drain` when kernels are
+    enabled and a current-version snapshot is frozen (the scalar worklist
+    loop stays authoritative and always available).
     """
     if config is None:
         config = PushConfig()
@@ -42,6 +47,34 @@ def backward_push(
     if state is None:
         state = PushState.indicator(target)
     alpha, epsilon = config.alpha, config.epsilon
+
+    if use_kernels and kernels.kernels_enabled():
+        snapshot = graph.csr(build=False)
+        if snapshot is not None:
+            budget = (
+                None
+                if max_operations is None
+                else max_operations - state.push_operations
+            )
+            if budget is None or budget > 0:
+                residue, reserve = state_to_arrays(state, snapshot)
+                out_deg = (
+                    snapshot.out_offsets[1:] - snapshot.out_offsets[:-1]
+                ).astype(kernels.np.float64)
+                pushes, accesses = kernels.csr_backward_push_drain(
+                    snapshot.in_offsets,
+                    snapshot.in_targets,
+                    out_deg,
+                    residue,
+                    reserve,
+                    alpha,
+                    epsilon,
+                    budget,
+                )
+                state_from_arrays(state, snapshot, residue, reserve)
+                state.push_operations += pushes
+                state.edge_accesses += accesses
+            return state
 
     work = Worklist()
     for v, r in state.residue.items():

@@ -33,6 +33,7 @@ from collections import deque
 
 from repro.baselines.base import ReachabilityMethod
 from repro.core.ifca import IFCAMethod
+from repro.core.params import IFCAParams
 from repro.graph import kernels
 from repro.graph.digraph import DynamicDiGraph
 from repro.service.cache import VersionedQueryCache
@@ -85,6 +86,15 @@ class ReachabilityService:
         demand) so every search on that version runs the vectorized
         kernels and all concurrent readers share the same arrays. Falls
         back to pure dict serving when off or when numpy is absent.
+    push_kernels:
+        Let the default IFCA engine run its *guided phase* on the
+        array-state push kernels too (``IFCAParams.use_push_kernels``).
+        Only meaningful with ``use_kernels`` and the default
+        ``method_factory``; per-version snapshots are shared read-only by
+        concurrent workers (each query carries its own state arrays), and
+        queries landing on a mid-churn version simply use the dict twins.
+        The ``push_kernel_queries`` counter reports how many engine-stage
+        answers actually came from the array path.
     csr_freeze_threshold:
         How many engine-stage queries one graph version must attract
         before its snapshot is frozen. 1 freezes eagerly on first demand;
@@ -107,10 +117,16 @@ class ReachabilityService:
         deadline_s: Optional[float] = None,
         degrade_budget: int = 2048,
         use_kernels: bool = True,
+        push_kernels: bool = True,
         csr_freeze_threshold: int = 2,
     ) -> None:
         self.graph = graph if graph is not None else DynamicDiGraph()
-        factory = method_factory if method_factory is not None else IFCAMethod
+        if method_factory is not None:
+            factory = method_factory
+        else:
+            factory = lambda g: IFCAMethod(  # noqa: E731
+                g, IFCAParams(use_push_kernels=push_kernels)
+            )
         self.method = factory(self.graph)
         self.deadline_s = deadline_s
         self.degrade_budget = degrade_budget
@@ -324,6 +340,8 @@ class ReachabilityService:
         engine = getattr(self.method, "engine", None)
         if engine is not None and hasattr(engine, "query_with_stats"):
             answer, qstats = engine.query_with_stats(source, target)
+            if qstats.used_push_kernel:
+                self._stats.incr("push_kernel_queries")
             return answer, qstats.terminated_by
         return self.method.query(source, target), ""
 
