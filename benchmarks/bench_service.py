@@ -15,6 +15,9 @@ search, while every confident answer stays exact (asserted against the
 engine-level invariants in ``tests/test_service.py``).
 """
 
+import os
+import tempfile
+
 from repro.datasets.sbm import two_block_sbm
 from repro.datasets.scale_free import preferential_attachment_graph
 from repro.service import ReachabilityService
@@ -28,7 +31,7 @@ QUERY_RATIO = 0.9
 SKEW = 1.1
 
 
-def _run_one(name, graph, workers, pair_pool=None):
+def _run_one(name, graph, workers, pair_pool=None, journal=None):
     ops = generate_mixed_workload(
         graph,
         NUM_OPS,
@@ -39,9 +42,16 @@ def _run_one(name, graph, workers, pair_pool=None):
     )
     queries, inserts, deletes = workload_mix(ops)
     with ReachabilityService(
-        graph.copy(), num_workers=workers, num_supportive=4, seed=7
+        graph.copy(),
+        num_workers=workers,
+        num_supportive=4,
+        seed=7,
+        journal=journal,
     ) as service:
         result = replay_workload(service, ops)
+        journal_records = (
+            service.journal.records_written if journal is not None else 0
+        )
     row = {
         "snapshot": name,
         "workers": workers,
@@ -49,6 +59,7 @@ def _run_one(name, graph, workers, pair_pool=None):
         "m": graph.num_edges,
         "inserts": inserts,
         "deletes": deletes,
+        "journal_records": journal_records,
     }
     row.update(result.summary_row())
     return row
@@ -64,6 +75,14 @@ def run_study():
     # Session-like traffic: whole query pairs repeat from a hot pool, so
     # the LRU cache (not just the fast path) carries measurable load.
     rows.append(_run_one("PA/hot-pairs", pa, 4, pair_pool=64))
+    # Durability tax: the same run with a write-ahead journal attached —
+    # qps relative to the plain PA row is the cost of crash safety.
+    with tempfile.TemporaryDirectory() as tmp:
+        rows.append(
+            _run_one(
+                "PA/journal", pa, 4, journal=os.path.join(tmp, "wal.jsonl")
+            )
+        )
     return rows
 
 
@@ -86,6 +105,7 @@ def test_service_throughput(benchmark, emit):
             "cache_hit_rate",
             "no_search_rate",
             "degraded",
+            "journal_records",
         ],
     )
     # The serving layer must answer >= 30% of queries without the full

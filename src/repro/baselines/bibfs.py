@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from repro.baselines.base import ReachabilityMethod
+from repro.core.budget import Budget, BudgetExceeded, PartialSearchState
 from repro.core.stats import QueryStats
 from repro.graph import kernels
 from repro.graph.digraph import DynamicDiGraph
@@ -22,6 +23,7 @@ def bibfs_is_reachable(
     target: int,
     stats: Optional[QueryStats] = None,
     use_kernels: Optional[bool] = None,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Bidirectional BFS from ``source``/``target``, alternating at layer
     granularity exactly as Alg. 5 does from singleton frontiers.
@@ -32,6 +34,11 @@ def bibfs_is_reachable(
     answers are identical, updates still touch nothing but the adjacency
     lists, and a graph mid-churn (stale or absent snapshot) silently takes
     the dict path.
+
+    ``budget`` is checkpointed once per layer. On the dict path a raise
+    carries the current visited sets and frontiers as ``exc.partial``
+    (plain BiBFS has no overlay, so the export is always sound); the
+    kernel path's masks are kernel-local and abandoned on a raise.
     """
     if stats is None:
         stats = QueryStats()
@@ -46,7 +53,9 @@ def bibfs_is_reachable(
     if use_kernels:
         snapshot = graph.csr(build=False)
         if snapshot is not None:
-            met, accesses = kernels.csr_bibfs(snapshot, source, target)
+            met, accesses = kernels.csr_bibfs(
+                snapshot, source, target, budget=budget
+            )
             stats.bibfs_edge_accesses += accesses
             stats.used_kernel = True
             stats.result = met
@@ -55,14 +64,32 @@ def bibfs_is_reachable(
     visited_r: Set[int] = {target}
     frontier_f: List[int] = [source]
     frontier_r: List[int] = [target]
+    base = stats.bibfs_edge_accesses
+    charged = 0
     # An exhausted frontier is a proof of the negative: its visited set is
     # then the complete closure of one endpoint and contains no vertex of
     # the other side, so the surviving direction can never meet it.
     while frontier_f and frontier_r:
+        if budget is not None:
+            total = stats.bibfs_edge_accesses - base
+            delta = total - charged
+            charged = total
+            try:
+                budget.checkpoint(delta)
+            except BudgetExceeded as exc:
+                if exc.partial is None:
+                    exc.partial = PartialSearchState(
+                        fwd_visited=set(visited_f),
+                        rev_visited=set(visited_r),
+                        fwd_frontier=list(frontier_f),
+                        rev_frontier=list(frontier_r),
+                    )
+                raise
         met, frontier_f = _expand(
             graph, frontier_f, visited_f, visited_r, True, stats
         )
         if met:
+            _charge_rest(budget, stats.bibfs_edge_accesses - base - charged)
             stats.result = True
             return True
         if not frontier_f:
@@ -71,10 +98,17 @@ def bibfs_is_reachable(
             graph, frontier_r, visited_r, visited_f, False, stats
         )
         if met:
+            _charge_rest(budget, stats.bibfs_edge_accesses - base - charged)
             stats.result = True
             return True
+    _charge_rest(budget, stats.bibfs_edge_accesses - base - charged)
     stats.result = False
     return False
+
+
+def _charge_rest(budget: Optional[Budget], delta: int) -> None:
+    if budget is not None and delta:
+        budget.charge(delta)
 
 
 def _expand(

@@ -6,7 +6,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro stats GRAPH.txt
     python -m repro generate sbm --block-size 100 --degree 5 OUT.txt
     python -m repro compare EN [--max-updates 250]
-    python -m repro serve-bench GRAPH.txt [--ops 2000 --query-ratio 0.9]
+    python -m repro serve-bench GRAPH.txt [--ops 2000 --journal WAL.jsonl]
+    python -m repro chaos GRAPH.txt --plan kernel-crash
     python -m repro reproduce [--quick] [--out results]
     python -m repro report [--markdown]
     python -m repro calibrate-lambda
@@ -185,7 +186,66 @@ def build_parser() -> argparse.ArgumentParser:
         "its CSR snapshot is frozen",
     )
     sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument(
+        "--journal",
+        default=None,
+        help="append every applied update to this write-ahead journal "
+        "(JSONL); a crashed run is recoverable with "
+        "ReachabilityService.recover()",
+    )
+    sb.add_argument(
+        "--max-pending",
+        type=int,
+        default=0,
+        help="admission control: shed queries once this many are pending "
+        "(0 = unbounded)",
+    )
     sb.set_defaults(func=cmd_serve_bench)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="replay a mixed workload under a named fault plan and "
+        "report what survived",
+    )
+    ch.add_argument(
+        "graph", nargs="?", help="edge-list file with the initial snapshot"
+    )
+    ch.add_argument(
+        "--plan",
+        default="mixed-chaos",
+        help="fault plan name (see --list-plans)",
+    )
+    ch.add_argument(
+        "--list-plans", action="store_true", help="list fault plans and exit"
+    )
+    ch.add_argument("--ops", type=int, default=2000)
+    ch.add_argument("--query-ratio", type=float, default=0.8)
+    ch.add_argument("--workers", type=int, default=4)
+    ch.add_argument("--supportive", type=int, default=0)
+    ch.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query cooperative deadline",
+    )
+    ch.add_argument(
+        "--edge-budget",
+        type=int,
+        default=None,
+        help="per-query engine edge-access ceiling",
+    )
+    ch.add_argument("--max-pending", type=int, default=64)
+    ch.add_argument(
+        "--journal", default=None, help="write-ahead journal path (JSONL)"
+    )
+    ch.add_argument(
+        "--oracle",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="verify final-version confident answers against a BFS oracle",
+    )
+    ch.add_argument("--seed", type=int, default=0)
+    ch.set_defaults(func=cmd_chaos)
 
     rep = sub.add_parser(
         "reproduce",
@@ -334,6 +394,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         use_kernels=args.kernels,
         push_kernels=args.push_kernels,
         csr_freeze_threshold=args.freeze_threshold,
+        journal=args.journal,
+        max_pending=args.max_pending,
     ) as service:
         result = replay_workload(service, ops, deadline_s=deadline_s)
         row = result.summary_row()
@@ -343,7 +405,109 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{row['no_search_rate']:.1%} answered without full search\n"
         )
         print(format_stats_table(service.stats()))
+        if args.journal:
+            journal = service.journal
+            print(
+                f"\njournal: {journal.records_written} records "
+                f"({journal.sync_count} fsyncs) -> {args.journal}"
+            )
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.service import (
+        NAMED_PLANS,
+        ReachabilityService,
+        plan_by_name,
+        replay_workload,
+    )
+    from repro.workloads.mixed import generate_mixed_workload, workload_mix
+
+    if args.list_plans:
+        for name in sorted(NAMED_PLANS):
+            plan = NAMED_PLANS[name]
+            specs = ", ".join(
+                f"{s.stage}:{s.kind}@{s.probability:g}" for s in plan.specs
+            ) or "(no faults)"
+            print(f"{name:<14} {specs}")
+        return 0
+    if not args.graph:
+        print("error: a graph file is required unless --list-plans", file=sys.stderr)
+        return 2
+
+    graph = read_edge_list(args.graph)
+    plan = plan_by_name(args.plan, seed=args.seed)
+    ops = generate_mixed_workload(
+        graph, args.ops, query_ratio=args.query_ratio, seed=args.seed
+    )
+    queries, inserts, deletes = workload_mix(ops)
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    print(
+        f"chaos plan {plan.name!r} over {len(ops)} ops "
+        f"({queries} queries, {inserts} inserts, {deletes} deletes) "
+        f"on n={graph.num_vertices} m={graph.num_edges}"
+    )
+    with ReachabilityService(
+        graph,
+        num_workers=args.workers,
+        num_supportive=args.supportive,
+        seed=args.seed,
+        deadline_s=deadline_s,
+        engine_edge_budget=args.edge_budget,
+        journal=args.journal,
+        fault_plan=plan,
+        max_pending=args.max_pending,
+    ) as service:
+        result = replay_workload(service, ops, deadline_s=deadline_s)
+        snapshot = service.stats()
+        counters = snapshot["counters"]
+        fired = snapshot.get("faults_fired", {})
+        final_version = service.graph.version
+        mismatches = checked = 0
+        if args.oracle:
+            from repro.graph.traversal import is_reachable_bfs
+
+            for outcome in result.outcomes:
+                if outcome.confident and outcome.version == final_version:
+                    checked += 1
+                    expected = is_reachable_bfs(
+                        service.graph, outcome.source, outcome.target
+                    )
+                    if expected != outcome.answer:
+                        mismatches += 1
+
+    answered = len(result.outcomes)
+    confident = sum(1 for o in result.outcomes if o.confident)
+    print("\nsurvival report")
+    print(f"  queries answered        {answered:>8} / {result.num_queries}")
+    print(f"  confident               {confident:>8} ({confident / answered:.1%})"
+          if answered else "  confident                      0")
+    print(f"  shed                    {result.shed_queries:>8}")
+    print(f"  degraded                {counters.get('degraded', 0):>8}")
+    print(f"  engine fallbacks        {counters.get('engine_fallbacks', 0):>8}")
+    print(f"  engine failures         {counters.get('engine_failures', 0):>8}")
+    print(f"  breaker trips           {counters.get('breaker_trips', 0):>8}")
+    print(f"  failed updates          {result.failed_updates:>8} / {result.num_updates}")
+    print(f"  journal errors          {counters.get('journal_errors', 0):>8}")
+    stage_errors = {
+        k[len("stage_errors_"):]: v
+        for k, v in counters.items()
+        if k.startswith("stage_errors_")
+    }
+    if stage_errors:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(stage_errors.items()))
+        print(f"  stage errors            {detail}")
+    if fired:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(fired.items()))
+        print(f"  faults fired            {detail}")
+    if args.oracle:
+        print(f"  oracle checked          {checked:>8} (final-version confident answers)")
+        print(f"  oracle mismatches       {mismatches:>8}")
+    survived = answered == result.num_queries and mismatches == 0
+    print(f"\n{'SURVIVED' if survived else 'FAILED'}: every query answered"
+          f"{' and every checked confident answer exact' if args.oracle else ''}"
+          if survived else "\nFAILED: see report above")
+    return 0 if survived else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:

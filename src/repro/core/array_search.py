@@ -57,6 +57,9 @@ revisit.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.core.budget import Budget, BudgetExceeded, PartialSearchState
 from repro.core.contraction import ContractionOutcome
 from repro.core.params import ORDER_GREEDY, PUSH_FORWARD, ResolvedParams
 from repro.core.stats import QueryStats
@@ -152,6 +155,7 @@ class ArraySearchContext:
         "n_reduced",
         "m_reduced",
         "epsilon_cur",
+        "budget",
     )
 
     def __init__(
@@ -161,6 +165,7 @@ class ArraySearchContext:
         params: ResolvedParams,
         source: int,
         target: int,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.graph = graph
         self.snapshot = snapshot
@@ -199,6 +204,7 @@ class ArraySearchContext:
         self.n_reduced = graph.num_vertices
         self.m_reduced = graph.num_edges
         self.epsilon_cur = params.epsilon_init
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def other(self, state: ArrayDirectionState) -> ArrayDirectionState:
@@ -280,6 +286,30 @@ class ArraySearchContext:
             started,
         )
 
+    # ------------------------------------------------------------------
+    # Partial-state export for the degraded bounded search
+    # ------------------------------------------------------------------
+    def export_state(self) -> Optional[PartialSearchState]:
+        """The interrupted search state, if soundly exportable.
+
+        Mirrors :meth:`repro.core.state.SearchContext.export_state`:
+        only contraction-free queries export (``remap`` materializes on
+        the first contraction, so ``remap is None`` is exactly the
+        contraction-free condition), translated back to original vertex
+        ids through the snapshot's id table.
+        """
+        if self.remap is not None:
+            return None
+        ids = self.snapshot.vertex_ids
+        n = self.n_base
+        fwd, rev = self.fwd, self.rev
+        return PartialSearchState(
+            fwd_visited=set(ids[np.flatnonzero(fwd.visited[:n])].tolist()),
+            rev_visited=set(ids[np.flatnonzero(rev.visited[:n])].tolist()),
+            fwd_frontier=ids[_handoff_frontier(fwd)].tolist(),
+            rev_frontier=ids[_handoff_frontier(rev)].tolist(),
+        )
+
 
 # ----------------------------------------------------------------------
 # Alg. 3 — one guided drain
@@ -328,6 +358,14 @@ def array_guided_search(
     state.explored_count += explored_added
     stats.guided_edge_accesses += accesses
     stats.push_operations += pushes
+    # One drain is the checkpoint granularity on the array path: sweeps
+    # complete whole frontiers, so state is consistent exactly here. A met
+    # answer is never discarded — the budget only interrupts open searches.
+    budget = ctx.budget
+    if budget is not None:
+        budget.charge(accesses)
+        if not met:
+            budget.checkpoint()
     return met
 
 
@@ -421,11 +459,28 @@ def array_frontier_bibfs(ctx: ArraySearchContext, stats: QueryStats) -> bool:
     way to the answer.
     """
     fwd, rev = ctx.fwd, ctx.rev
+    budget = ctx.budget
     cur_f = _handoff_frontier(fwd)
     cur_r = _handoff_frontier(rev)
     accesses = 0
+    charged = 0
     met = False
     while len(cur_f) and len(cur_r):
+        if budget is not None:
+            delta = accesses - charged
+            charged = accesses
+            try:
+                budget.checkpoint(delta)
+            except BudgetExceeded as exc:
+                stats.bibfs_edge_accesses += accesses
+                stats.used_kernel = True
+                if exc.partial is None and ctx.remap is None:
+                    # Both frontiers are exact at the loop head (every
+                    # prior layer was fully enumerated), so they — not
+                    # the stale cand/explored arrays — are the sound
+                    # resumable state. Contracted queries export nothing.
+                    exc.partial = _export_bibfs_partial(ctx, cur_f, cur_r)
+                raise
         met, cur_f, acc = _expand_overlay(ctx, fwd, cur_f, rev.visited)
         accesses += acc
         if met:
@@ -436,9 +491,27 @@ def array_frontier_bibfs(ctx: ArraySearchContext, stats: QueryStats) -> bool:
         accesses += acc
         if met:
             break
+    if budget is not None:
+        budget.charge(accesses - charged)
     stats.bibfs_edge_accesses += accesses
     stats.used_kernel = True
     return met
+
+
+def _export_bibfs_partial(ctx, cur_f, cur_r) -> PartialSearchState:
+    """Partial state at an array-BiBFS layer boundary (original ids).
+
+    Only called when ``ctx.remap is None``, so every visited index and
+    frontier entry is a real compacted vertex (< ``n_base``).
+    """
+    ids = ctx.snapshot.vertex_ids
+    n = ctx.n_base
+    return PartialSearchState(
+        fwd_visited=set(ids[np.flatnonzero(ctx.fwd.visited[:n])].tolist()),
+        rev_visited=set(ids[np.flatnonzero(ctx.rev.visited[:n])].tolist()),
+        fwd_frontier=ids[cur_f].tolist(),
+        rev_frontier=ids[cur_r].tolist(),
+    )
 
 
 def _handoff_frontier(state: ArrayDirectionState):

@@ -34,6 +34,7 @@ def frontier_bibfs(
 ) -> bool:
     """Run Alg. 5 to completion; returns whether ``s -> t``."""
     fwd, rev = ctx.fwd, ctx.rev
+    budget = ctx.budget
     if (
         ctx.params.use_kernels
         and not ctx.find
@@ -42,8 +43,16 @@ def frontier_bibfs(
     ):
         snapshot = ctx.graph.csr(build=False)
         if snapshot is not None:
+            # The kernel checkpoints the budget per layer itself; the dict
+            # visited sets are untouched on a raise, so the engine's
+            # export still describes sound (pre-BiBFS) state.
             met, accesses = kernels.csr_bibfs_frontiers(
-                snapshot, frontier_f, frontier_r, fwd.visited, rev.visited
+                snapshot,
+                frontier_f,
+                frontier_r,
+                fwd.visited,
+                rev.visited,
+                budget=budget,
             )
             stats.bibfs_edge_accesses += accesses
             stats.used_kernel = True
@@ -59,12 +68,19 @@ def frontier_bibfs(
     cur_f: List[int] = list(frontier_f)
     cur_r: List[int] = list(frontier_r)
     accesses = 0
+    charged = 0
     try:
         # An exhausted frontier proves the negative: meets are tested the
         # moment a vertex enters a visited set, so an empty frontier means
         # that side's visited set is its endpoint's complete closure and
         # is disjoint from the other side — no future layer can meet it.
         while cur_f and cur_r:
+            if budget is not None:
+                # Layer boundaries keep explored consistent with the
+                # enumerated adjacency, so a raise here exports soundly.
+                delta = accesses - charged
+                charged = accesses
+                budget.checkpoint(delta)
             next_f: List[int] = []
             for u in cur_f:
                 for w in (super_adj_f if u == super_f else adj_f[u]):
@@ -95,4 +111,6 @@ def frontier_bibfs(
             cur_r = next_r
         return False
     finally:
+        if budget is not None:
+            budget.charge(accesses - charged)
         stats.bibfs_edge_accesses += accesses

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro.core.budget import BudgetExceeded
 from repro.core.params import ORDER_GREEDY, PUSH_FORWARD
 from repro.core.state import DirectionState, SearchContext
 from repro.core.stats import QueryStats
@@ -68,6 +69,16 @@ def guided_search(
         + 10.0 * scale / (alpha * ctx.params.epsilon_pre)
         + 8 * ctx.n_reduced
     )
+
+    # Cooperative cancellation: charge accrued edge accesses and test the
+    # budget every ``budget_check_interval`` pushes. Residue/visited/
+    # explored are consistent at every push boundary, so raising here
+    # leaves state the degraded search can be seeded from.
+    budget = ctx.budget
+    check_interval = ctx.params.budget_check_interval
+    charged = 0
+    if budget is not None:
+        budget.checkpoint()
 
     # Local bindings for the hot loop.
     residue = state.residue
@@ -133,6 +144,14 @@ def guided_search(
         if pushes >= push_budget:
             break
         pushes += 1
+        if budget is not None and pushes % check_interval == 0:
+            try:
+                budget.checkpoint(edge_accesses - charged)
+            except BudgetExceeded:
+                stats.guided_edge_accesses += edge_accesses
+                stats.push_operations += pushes
+                raise
+            charged = edge_accesses
         if u not in explored:
             explored.add(u)
             state.int_edges += d_u
@@ -181,6 +200,8 @@ def guided_search(
         if met:
             break
 
+    if budget is not None:
+        budget.charge(edge_accesses - charged)
     stats.guided_edge_accesses += edge_accesses
     stats.push_operations += pushes
     return met

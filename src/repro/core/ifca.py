@@ -34,6 +34,7 @@ from repro.core.array_search import (
     array_guided_search,
 )
 from repro.core.bibfs import frontier_bibfs
+from repro.core.budget import Budget, BudgetExceeded
 from repro.core.contraction import ContractionOutcome, community_contraction
 from repro.core.cost import CostModel
 from repro.core.guided import guided_search
@@ -55,6 +56,11 @@ class IFCA:
     params:
         Tunables; the default follows the paper's heuristic choices.
     """
+
+    #: Feature flag for callers (the serving layer probes it before
+    #: passing ``budget=`` — third-party engines behind the same interface
+    #: may not accept the keyword).
+    supports_budget = True
 
     def __init__(
         self,
@@ -89,9 +95,20 @@ class IFCA:
         return answer
 
     def query_with_stats(
-        self, source: int, target: int
+        self,
+        source: int,
+        target: int,
+        budget: Optional[Budget] = None,
     ) -> Tuple[bool, QueryStats]:
-        """Exact reachability plus the per-query counters."""
+        """Exact reachability plus the per-query counters.
+
+        ``budget``, when given, is checkpointed cooperatively at drain,
+        layer, and round boundaries. An exhausted budget raises
+        :class:`~repro.core.budget.BudgetExceeded` with ``exc.partial``
+        set to the sound resumable search state when one exists
+        (contraction-free queries only) and ``exc.query_stats`` holding
+        the counters accrued up to the interrupt.
+        """
         stats = QueryStats()
         if source == target:
             stats.result = True
@@ -106,6 +123,8 @@ class IFCA:
 
         params = self._resolve_params()
         cost_model = self._get_cost_model(params)
+        if budget is not None:
+            budget.checkpoint()  # pre-exhausted budgets fail before work
 
         # Fast path: when the round-1 strategy decision is already
         # "switch", Alg. 2 degenerates to plain BiBFS from {s} / {t} — run
@@ -117,65 +136,82 @@ class IFCA:
                 self.graph.num_vertices, self.graph.num_edges, params.epsilon_init
             )
         )
-        if immediate:
-            stats.rounds = 1
+        ctx = None
+        try:
+            if immediate:
+                stats.rounds = 1
+                stats.switched_to_bibfs = True
+                met = bibfs_is_reachable(
+                    self.graph,
+                    source,
+                    target,
+                    stats,
+                    use_kernels=params.use_kernels,
+                    budget=budget,
+                )
+                return self._finish(stats, met, "bibfs")
+
+            # Array-state dispatch: when both kernel switches are on and a
+            # current-version snapshot is already frozen, the whole guided
+            # phase (drains, contraction, hand-off) runs on the array
+            # twins; otherwise — numpy absent, kernels off, or a mid-churn
+            # graph whose snapshot is stale — the dict twins answer
+            # identically.
+            ctx = self._make_context(params, source, target, budget)
+            if isinstance(ctx, ArraySearchContext):
+                stats.used_push_kernel = True
+                guided, contract = array_guided_search, array_community_contraction
+            else:
+                guided, contract = guided_search, community_contraction
+
+            while True:
+                stats.rounds += 1
+                if self._should_switch(ctx, cost_model, stats.rounds, params):
+                    break
+                if guided(ctx, ctx.fwd, stats):
+                    return self._finish(stats, True, "guided")
+                outcome = contract(ctx, ctx.fwd, stats)
+                if outcome is ContractionOutcome.MEET:
+                    return self._finish(stats, True, "contraction")
+                if outcome is ContractionOutcome.EXHAUSTED:
+                    return self._finish(stats, False, "exhausted")
+                if guided(ctx, ctx.rev, stats):
+                    return self._finish(stats, True, "guided")
+                outcome = contract(ctx, ctx.rev, stats)
+                if outcome is ContractionOutcome.MEET:
+                    return self._finish(stats, True, "contraction")
+                if outcome is ContractionOutcome.EXHAUSTED:
+                    return self._finish(stats, False, "exhausted")
+                ctx.epsilon_cur = max(ctx.epsilon_cur / params.step, EPSILON_FLOOR)
+
+            # BiBFS takes over from the frontiers (Alg. 2 lines 18-20).
             stats.switched_to_bibfs = True
-            met = bibfs_is_reachable(
-                self.graph, source, target, stats, use_kernels=params.use_kernels
-            )
+            if isinstance(ctx, ArraySearchContext):
+                met = array_frontier_bibfs(ctx, stats)
+            else:
+                met = frontier_bibfs(
+                    ctx, ctx.frontier(ctx.fwd), ctx.frontier(ctx.rev), stats
+                )
             return self._finish(stats, met, "bibfs")
+        except BudgetExceeded as exc:
+            stats.budget_exhausted = True
+            stats.terminated_by = "budget"
+            if exc.partial is None and ctx is not None:
+                exc.partial = ctx.export_state()
+            exc.query_stats = stats
+            raise
 
-        # Array-state dispatch: when both kernel switches are on and a
-        # current-version snapshot is already frozen, the whole guided
-        # phase (drains, contraction, hand-off) runs on the array twins;
-        # otherwise — numpy absent, kernels off, or a mid-churn graph
-        # whose snapshot is stale — the dict twins answer identically.
-        ctx = self._make_context(params, source, target)
-        if isinstance(ctx, ArraySearchContext):
-            stats.used_push_kernel = True
-            guided, contract = array_guided_search, array_community_contraction
-        else:
-            guided, contract = guided_search, community_contraction
-
-        while True:
-            stats.rounds += 1
-            if self._should_switch(ctx, cost_model, stats.rounds, params):
-                break
-            if guided(ctx, ctx.fwd, stats):
-                return self._finish(stats, True, "guided")
-            outcome = contract(ctx, ctx.fwd, stats)
-            if outcome is ContractionOutcome.MEET:
-                return self._finish(stats, True, "contraction")
-            if outcome is ContractionOutcome.EXHAUSTED:
-                return self._finish(stats, False, "exhausted")
-            if guided(ctx, ctx.rev, stats):
-                return self._finish(stats, True, "guided")
-            outcome = contract(ctx, ctx.rev, stats)
-            if outcome is ContractionOutcome.MEET:
-                return self._finish(stats, True, "contraction")
-            if outcome is ContractionOutcome.EXHAUSTED:
-                return self._finish(stats, False, "exhausted")
-            ctx.epsilon_cur = max(ctx.epsilon_cur / params.step, EPSILON_FLOOR)
-
-        # BiBFS takes over from the current frontiers (Alg. 2 lines 18-20).
-        stats.switched_to_bibfs = True
-        if isinstance(ctx, ArraySearchContext):
-            met = array_frontier_bibfs(ctx, stats)
-        else:
-            met = frontier_bibfs(
-                ctx, ctx.frontier(ctx.fwd), ctx.frontier(ctx.rev), stats
-            )
-        return self._finish(stats, met, "bibfs")
-
-    def _make_context(self, params, source: int, target: int):
+    def _make_context(
+        self, params, source: int, target: int, budget: Optional[Budget] = None
+    ):
         """Pick the array-state context when its preconditions hold."""
         if params.use_kernels and params.use_push_kernels and kernels.kernels_enabled():
             snapshot = self.graph.csr(build=False)
             if snapshot is not None:
                 return ArraySearchContext(
-                    self.graph, snapshot, params, source, target
+                    self.graph, snapshot, params, source, target, budget
                 )
-        return SearchContext(self.graph, params, source, target)
+        return SearchContext(self.graph, params, source, target, budget)
 
     # ------------------------------------------------------------------
     def _should_switch(

@@ -73,6 +73,11 @@ class IFCAParams:
     #: kernels while pinning the guided phase to the dict twin (the push
     #: A/B harness does exactly that).
     use_push_kernels: bool = True
+    #: Pushes between cooperative :class:`~repro.core.budget.Budget`
+    #: checkpoints inside one guided drain. Smaller values tighten
+    #: deadline adherence at the price of a clock read per interval;
+    #: irrelevant when queries carry no budget.
+    budget_check_interval: int = 256
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -93,6 +98,8 @@ class IFCAParams:
             raise ValueError("beta must be in (0, 1)")
         if self.max_rounds <= 0:
             raise ValueError("max_rounds must be positive")
+        if self.budget_check_interval <= 0:
+            raise ValueError("budget_check_interval must be positive")
 
     def with_overrides(self, **kwargs: object) -> "IFCAParams":
         """A copy with some fields replaced (frozen-dataclass convenience)."""
@@ -124,6 +131,7 @@ class IFCAParams:
             max_rounds=self.max_rounds,
             use_kernels=self.use_kernels,
             use_push_kernels=self.use_push_kernels,
+            budget_check_interval=self.budget_check_interval,
         )
 
 
@@ -145,3 +153,4 @@ class ResolvedParams:
     max_rounds: int
     use_kernels: bool = True
     use_push_kernels: bool = True
+    budget_check_interval: int = 256

@@ -46,6 +46,10 @@ class QueryStats:
     #: same units on the dict and array paths (lambda calibration relies
     #: on it).
     used_push_kernel: bool = False
+    #: Whether the query was interrupted by a cooperative budget
+    #: (:class:`~repro.core.budget.BudgetExceeded` was raised); the
+    #: counters then cover only the work done up to the interrupt.
+    budget_exhausted: bool = False
 
     @property
     def edge_accesses(self) -> int:
@@ -72,3 +76,5 @@ class QueryStats:
             self.used_kernel = True
         if other.used_push_kernel:
             self.used_push_kernel = True
+        if other.budget_exhausted:
+            self.budget_exhausted = True

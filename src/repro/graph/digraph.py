@@ -157,6 +157,27 @@ class DynamicDiGraph:
         self._version += 1
         return True
 
+    def restore_version(self, version: int) -> None:
+        """Realign the epoch counter after journal replay.
+
+        Replaying a journal rebuilds the edge set deterministically but not
+        necessarily with the same *number* of effective mutations the
+        original process performed (a recovered base graph may batch what
+        was once incremental). Version-stamped derived state (cache
+        entries, journal records) written before the crash must compare
+        correctly against post-recovery versions, so recovery pins the
+        counter to the last durably recorded version. Monotonicity is
+        enforced: the counter never moves backwards.
+        """
+        if version < self._version:
+            raise ValueError(
+                f"cannot restore version {version}: counter already at "
+                f"{self._version} (versions are monotone)"
+            )
+        if version != self._version:
+            self._version = version
+            self._csr_state = None
+
     @staticmethod
     def _swap_remove(lst: List[int], value: int) -> None:
         idx = lst.index(value)

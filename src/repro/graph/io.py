@@ -15,6 +15,7 @@ Supported line formats (whitespace separated, ``#`` and ``%`` comments):
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Iterable, Iterator, List, TextIO, Tuple, Union
 
@@ -42,12 +43,29 @@ def read_edge_list(path: PathLike) -> DynamicDiGraph:
     return graph
 
 
-def write_edge_list(graph: DynamicDiGraph, path: PathLike) -> None:
-    """Write the graph as ``u v`` lines, one edge per line."""
-    with open(path, "w", encoding="utf-8") as handle:
+def write_edge_list(
+    graph: DynamicDiGraph, path: PathLike, atomic: bool = False
+) -> None:
+    """Write the graph as ``u v`` lines, one edge per line.
+
+    With ``atomic=True`` the file is written to a same-directory temp file,
+    fsynced, and renamed into place, so a crash mid-write can never leave a
+    truncated edge list behind — journal checkpoints
+    (:meth:`repro.graph.journal.UpdateJournal.checkpoint`) rely on this.
+    """
+    target = Path(path)
+    dest = (
+        target.with_name(target.name + ".tmp") if atomic else target
+    )
+    with open(dest, "w", encoding="utf-8") as handle:
         handle.write(f"# n={graph.num_vertices} m={graph.num_edges}\n")
         for u, v in graph.edges():
             handle.write(f"{u} {v}\n")
+        if atomic:
+            handle.flush()
+            os.fsync(handle.fileno())
+    if atomic:
+        os.replace(dest, target)
 
 
 def read_temporal_edge_list(path: PathLike) -> List[EdgeEvent]:

@@ -1,0 +1,296 @@
+"""Write-ahead update journal: crash-safe durability for dynamic graphs.
+
+The in-memory :class:`~repro.graph.digraph.DynamicDiGraph` is the only
+authoritative state the serving engine has — a process crash loses every
+update applied since start. This module adds the classic write-ahead
+discipline without giving up the index-free update cost: each effective
+mutation appends one JSON line to an append-only journal, and recovery
+replays the journal (optionally on top of a checkpoint edge list) to
+rebuild the exact pre-crash graph, version counter included.
+
+File format
+-----------
+One JSON object per line (JSONL). The first line is a header::
+
+    {"op": "open", "ver": <graph version at open>, "ckpt": <path|null>}
+
+followed by mutation records stamped with the graph version *after* the
+mutation applied::
+
+    {"op": "+", "u": 3, "v": 7, "ver": 1042}
+    {"op": "-", "u": 3, "v": 7, "ver": 1043}
+
+Version stamps make replay self-verifying: applying the same operations
+to the same base state reproduces the same version sequence (the graph's
+counter bumps deterministically), so a final mismatch means the base
+graph does not match the journal and recovery refuses to hand back a
+silently wrong graph.
+
+Durability model
+----------------
+Appends are buffered and fsynced every ``fsync_every`` records (1 =
+classic synchronous WAL, the default trades the tail of the batch for
+throughput). A torn final line — the crash landed mid-append — is
+expected and tolerated: replay stops at the first undecodable *final*
+line. An undecodable line with valid records after it is real corruption
+and raises :class:`JournalCorrupt`.
+
+Compaction
+----------
+:meth:`UpdateJournal.checkpoint` writes the current graph as an atomic
+edge list (temp file + fsync + rename, see
+:func:`repro.graph.io.write_edge_list`) and restarts the journal with a
+header pointing at it, so the journal never grows without bound and
+recovery cost is proportional to updates since the last checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+PathLike = Union[str, Path]
+
+
+class JournalError(RuntimeError):
+    """Base class for journal failures."""
+
+
+class JournalCorrupt(JournalError):
+    """The journal has an undecodable record before its final line."""
+
+
+class JournalReplayError(JournalError):
+    """Replay produced a graph whose version disagrees with the records
+    (the supplied base graph does not match the journal's base state)."""
+
+
+@dataclass
+class ReplayResult:
+    """What :func:`replay` recovered."""
+
+    #: The rebuilt graph, version counter realigned to the last record.
+    graph: DynamicDiGraph
+    #: The last durably recorded version (== ``graph.version``).
+    version: int
+    #: Mutation records applied.
+    applied: int
+    #: Whether a torn (partially written) final line was discarded.
+    torn_tail: bool
+    #: The checkpoint path named by the header, if any.
+    checkpoint: Optional[str] = None
+
+
+class UpdateJournal:
+    """An append-only write-ahead journal for one dynamic graph.
+
+    Opening an empty (or absent) file writes the header; opening an
+    existing journal resumes appending after its last record. The journal
+    is oblivious to *who* mutates the graph — callers append a record for
+    every effective mutation they apply, stamped with the resulting
+    graph version (the serving engine does this inside its write lock, so
+    journal order is exactly version order).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync_every: int = 64,
+        graph_version: int = 0,
+        checkpoint: Optional[PathLike] = None,
+    ) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self._pending = 0
+        self._records = 0
+        self._syncs = 0
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._write_header(graph_version, checkpoint)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def record_insert(self, u: int, v: int, version: int) -> None:
+        """Journal an applied edge insertion (``version`` = post-apply)."""
+        self._append({"op": "+", "u": u, "v": v, "ver": version})
+
+    def record_delete(self, u: int, v: int, version: int) -> None:
+        """Journal an applied edge deletion (``version`` = post-apply)."""
+        self._append({"op": "-", "u": u, "v": v, "ver": version})
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._records += 1
+        self._pending += 1
+        if self._pending >= self.fsync_every:
+            self.flush()
+
+    def _write_header(
+        self, version: int, checkpoint: Optional[PathLike]
+    ) -> None:
+        header = {
+            "op": "open",
+            "ver": version,
+            "ckpt": str(checkpoint) if checkpoint is not None else None,
+        }
+        self._handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+        self.flush()
+
+    def flush(self) -> None:
+        """Force buffered records to stable storage (fsync)."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        if self._pending:
+            self._syncs += 1
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self, graph: DynamicDiGraph, snapshot_path: PathLike) -> None:
+        """Compact: snapshot ``graph`` atomically and restart the journal.
+
+        Crash-ordering: the snapshot is durably renamed into place
+        *before* the journal is truncated, and the truncated journal is
+        itself replaced atomically — at every instant either the old
+        journal (still replayable from its own base) or the new
+        journal + snapshot pair exists.
+        """
+        snapshot_path = Path(snapshot_path)
+        write_edge_list(graph, snapshot_path, atomic=True)
+        self.flush()
+        self._handle.close()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            header = {
+                "op": "open",
+                "ver": graph.version,
+                "ckpt": str(snapshot_path),
+            }
+            handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self.flush()
+        self._handle.close()
+
+    def __enter__(self) -> "UpdateJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def records_written(self) -> int:
+        return self._records
+
+    @property
+    def sync_count(self) -> int:
+        """Batched fsyncs issued (excluding record-free flushes)."""
+        return self._syncs
+
+
+def replay(
+    path: PathLike, base_graph: Optional[DynamicDiGraph] = None
+) -> ReplayResult:
+    """Rebuild the graph a journal describes.
+
+    ``base_graph`` supplies the journal's base state (the graph as it was
+    at header time); when omitted, the header's checkpoint path (resolved
+    relative to the journal's directory) is loaded, and failing that the
+    base is the empty graph — correct for journals opened at version 0.
+
+    The rebuilt graph's version counter is realigned to the last record's
+    stamp via :meth:`~repro.graph.digraph.DynamicDiGraph.restore_version`,
+    so version-keyed derived state (cache entries, pruner stamps) written
+    before the crash compares correctly after recovery.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise JournalCorrupt(f"{path}: empty journal (missing header)")
+
+    records = []
+    torn = False
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if i == len(lines) - 1:
+                torn = True  # crash mid-append; the record never committed
+                break
+            raise JournalCorrupt(f"{path}: undecodable record at line {i + 1}")
+
+    header = records[0]
+    if header.get("op") != "open":
+        raise JournalCorrupt(f"{path}: first record is not a header")
+    base_version = int(header.get("ver", 0))
+    ckpt = header.get("ckpt")
+
+    graph = base_graph
+    if graph is None and ckpt:
+        ckpt_path = Path(ckpt)
+        if not ckpt_path.is_absolute():
+            ckpt_path = path.parent / ckpt_path
+        graph = read_edge_list(ckpt_path)
+    if graph is None:
+        graph = DynamicDiGraph()
+    if graph.version > base_version:
+        raise JournalReplayError(
+            f"{path}: base graph at version {graph.version} is ahead of the "
+            f"journal's base version {base_version}"
+        )
+    graph.restore_version(base_version)
+
+    applied = 0
+    last_version = base_version
+    for record in records[1:]:
+        op = record.get("op")
+        u, v, ver = record["u"], record["v"], record["ver"]
+        if ver <= last_version:
+            raise JournalCorrupt(
+                f"{path}: non-monotone version stamp {ver} after {last_version}"
+            )
+        if op == "+":
+            graph.add_edge(u, v)
+        elif op == "-":
+            graph.remove_edge(u, v)
+        else:
+            raise JournalCorrupt(f"{path}: unknown op {op!r}")
+        applied += 1
+        last_version = ver
+
+    if graph.version > last_version:
+        raise JournalReplayError(
+            f"{path}: replay reached version {graph.version} past the last "
+            f"record's {last_version} — base graph does not match the journal"
+        )
+    graph.restore_version(last_version)
+    return ReplayResult(
+        graph=graph,
+        version=last_version,
+        applied=applied,
+        torn_tail=torn,
+        checkpoint=ckpt,
+    )

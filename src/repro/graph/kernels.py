@@ -61,6 +61,34 @@ def kernels_enabled() -> bool:
     return _enabled
 
 
+# ----------------------------------------------------------------------
+# Fault-injection hook (chaos testing)
+# ----------------------------------------------------------------------
+#: When set, called as ``hook(kernel_name)`` on entry to the substrate
+#: kernels. The chaos harness (:mod:`repro.service.faults`) installs a
+#: hook that raises mid-substrate, proving the serving layer's circuit
+#: breaker catches kernel-path failures instead of killing the query.
+_fault_hook = None
+
+
+def set_fault_hook(hook):
+    """Install (or clear, with ``None``) the kernel fault hook.
+
+    Returns the previous hook so callers can restore it. Process-wide:
+    intended for chaos tests and the ``repro chaos`` harness only.
+    """
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
+    return previous
+
+
+def _maybe_fault(name: str) -> None:
+    hook = _fault_hook
+    if hook is not None:
+        hook(name)
+
+
 def set_kernels_enabled(flag: bool) -> bool:
     """Flip the process-wide kernel switch; returns the previous value.
 
@@ -243,6 +271,7 @@ def csr_push_drain(
     Returns ``(met, cand, pushes, edge_accesses, int_edges,
     explored_added)``.
     """
+    _maybe_fault("csr_push_drain")
     one_minus_alpha = 1.0 - alpha
     pushes = 0
     edge_accesses = 0
@@ -473,12 +502,16 @@ def csr_backward_push_drain(
 # ----------------------------------------------------------------------
 # Bidirectional BFS
 # ----------------------------------------------------------------------
-def csr_bibfs(csr: "CSRSnapshot", source: int, target: int) -> Tuple[bool, int]:
+def csr_bibfs(
+    csr: "CSRSnapshot", source: int, target: int, budget=None
+) -> Tuple[bool, int]:
     """Layer-alternating BiBFS over a snapshot; ``(answer, edge_accesses)``.
 
     ``source`` / ``target`` are original vertex ids and must exist in the
     snapshot (callers run the trivial tests first, exactly like the dict
-    path).
+    path). ``budget``, when given, is checkpointed once per layer (see
+    :meth:`repro.core.budget.Budget.checkpoint`); a raise abandons the
+    kernel-local masks, so no partial state survives.
     """
     if source == target:
         return True, 0
@@ -491,7 +524,7 @@ def csr_bibfs(csr: "CSRSnapshot", source: int, target: int) -> Tuple[bool, int]:
     visited_r[ti] = True
     frontier_f = np.array([si], dtype=np.int64)
     frontier_r = np.array([ti], dtype=np.int64)
-    return _bibfs_loop(csr, frontier_f, frontier_r, visited_f, visited_r)
+    return _bibfs_loop(csr, frontier_f, frontier_r, visited_f, visited_r, budget)
 
 
 def csr_bibfs_frontiers(
@@ -500,12 +533,15 @@ def csr_bibfs_frontiers(
     frontier_r: Iterable[int],
     visited_f: Set[int],
     visited_r: Set[int],
+    budget=None,
 ) -> Tuple[bool, int]:
     """The frontier-initialized hand-off variant (Alg. 5 without overlay).
 
     Inherits the guided search's visited sets and frontiers (original
     ids). Only valid when the query performed no contraction — the caller
-    checks that the overlay is empty before dispatching here.
+    checks that the overlay is empty before dispatching here. The input
+    sets are never mutated, so a budget raise leaves the caller's state
+    exactly as handed in.
     """
     n = csr.num_vertices
     mask_f = np.zeros(n, dtype=bool)
@@ -521,23 +557,31 @@ def csr_bibfs_frontiers(
     # test keeps the kernel sound regardless.
     if mask_f[idx_r].any():
         return True, 0
-    return _bibfs_loop(csr, cur_f, cur_r, mask_f, mask_r)
+    return _bibfs_loop(csr, cur_f, cur_r, mask_f, mask_r, budget)
 
 
-def _bibfs_loop(csr, frontier_f, frontier_r, visited_f, visited_r):
+def _bibfs_loop(csr, frontier_f, frontier_r, visited_f, visited_r, budget=None):
+    _maybe_fault("csr_bibfs")
     out_offsets, out_targets = csr.out_offsets, csr.out_targets
     in_offsets, in_targets = csr.in_offsets, csr.in_targets
     scratch = np.zeros(csr.num_vertices, dtype=bool)
     accesses = 0
+    charged = 0
     # An exhausted frontier proves the negative: that side's visited set
     # is its full BFS closure and no meet happened, so the other side
     # need not keep expanding (the same early-out the dict twin takes).
     while len(frontier_f) and len(frontier_r):
+        if budget is not None:
+            # Charge-before-test ordering: a raise never double-charges.
+            delta = accesses - charged
+            charged = accesses
+            budget.checkpoint(delta)
         met, frontier_f, acc = _expand(
             out_offsets, out_targets, frontier_f, visited_f, visited_r, scratch
         )
         accesses += acc
         if met:
+            _charge_rest(budget, accesses - charged)
             return True, accesses
         if not len(frontier_r):
             break
@@ -546,8 +590,15 @@ def _bibfs_loop(csr, frontier_f, frontier_r, visited_f, visited_r):
         )
         accesses += acc
         if met:
+            _charge_rest(budget, accesses - charged)
             return True, accesses
+    _charge_rest(budget, accesses - charged)
     return False, accesses
+
+
+def _charge_rest(budget, delta: int) -> None:
+    if budget is not None and delta:
+        budget.charge(delta)
 
 
 # ----------------------------------------------------------------------

@@ -3,25 +3,48 @@
 A serving front-end around the exact IFCA engine: O'Reach-style O(1)
 fast-path observations, a version-stamped LRU result cache with
 update-aware invalidation, a worker pool with per-query deadlines and
-graceful degradation, and a stats surface. See ``docs/service.md``.
+graceful degradation — and a fault-tolerance layer: pluggable fault
+injection, a circuit breaker over the kernel substrate with a dict
+fallback twin, cooperative mid-search cancellation, admission-control
+load shedding, and an optional write-ahead update journal. See
+``docs/service.md``.
 """
 
 from repro.service.cache import VersionedQueryCache
-from repro.service.concurrency import RWLock
+from repro.service.concurrency import RWLock, ServiceTimeout
 from repro.service.driver import ReplayResult, replay_workload
 from repro.service.engine import QueryOutcome, ReachabilityService
 from repro.service.fastpath import FastPathPruner, UpdateEffect
+from repro.service.faults import (
+    NAMED_PLANS,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    StagePolicy,
+    plan_by_name,
+)
 from repro.service.stats import ServiceStats, format_stats_table
 
 __all__ = [
+    "CircuitBreaker",
     "FastPathPruner",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "NAMED_PLANS",
     "QueryOutcome",
     "RWLock",
     "ReachabilityService",
     "ReplayResult",
     "ServiceStats",
+    "ServiceTimeout",
+    "StagePolicy",
     "UpdateEffect",
     "VersionedQueryCache",
     "format_stats_table",
+    "plan_by_name",
     "replay_workload",
 ]

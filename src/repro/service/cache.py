@@ -42,6 +42,7 @@ class VersionedQueryCache:
         self.hits = 0
         self.misses = 0
         self.stale_evictions = 0
+        self.unconfident_rejections = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -90,8 +91,25 @@ class VersionedQueryCache:
             self.hits += 1
             return answer
 
-    def put(self, source: int, target: int, answer: bool, version: int) -> None:
+    def put(
+        self,
+        source: int,
+        target: int,
+        answer: bool,
+        version: int,
+        confident: bool = True,
+    ) -> None:
+        """Store an answer; silently refuses anything non-exact or stale.
+
+        The ``confident`` gate is enforced *here*, not just at call sites:
+        a best-effort degraded guess that slipped into the cache would be
+        replayed as an exact answer for as long as its version stays
+        valid, so the cache itself is the last line of defense.
+        """
         with self._lock:
+            if not confident:
+                self.unconfident_rejections += 1
+                return  # never cache a best-effort guess as an exact answer
             if not self._valid(answer, version):
                 return  # raced with an update; do not cache a stale answer
             key = (source, target)

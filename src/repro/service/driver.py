@@ -30,6 +30,12 @@ class ReplayResult:
     wall_seconds: float
     outcomes: List[QueryOutcome] = field(default_factory=list)
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Updates that raised (injected faults, write-lock timeouts). The
+    #: service guarantees a failed update mutated nothing, so the replay
+    #: keeps going — chaos runs count these instead of crashing.
+    failed_updates: int = 0
+    #: Queries resolved ``via="shed"`` by admission control.
+    shed_queries: int = 0
 
     @property
     def ops_per_second(self) -> float:
@@ -59,6 +65,8 @@ class ReplayResult:
             "confident_fraction": (
                 round(confident / len(self.outcomes), 4) if self.outcomes else 1.0
             ),
+            "failed_updates": self.failed_updates,
+            "shed": self.shed_queries,
         }
 
 
@@ -82,13 +90,19 @@ def replay_workload(
     )
     num_queries = 0
     num_updates = 0
+    failed_updates = 0
+    shed = 0
 
-    def drain() -> None:
+    def drain() -> int:
+        local_shed = 0
         for slot, future in in_flight:
             outcome = future.result()
+            if outcome.via == "shed":
+                local_shed += 1
             if collect_outcomes:
                 outcomes[slot] = outcome
         in_flight.clear()
+        return local_shed
 
     start = time.perf_counter()
     query_index = 0
@@ -99,15 +113,20 @@ def replay_workload(
             query_index += 1
             num_queries += 1
             if len(in_flight) >= flight_window:
-                drain()
+                shed += drain()
         else:
-            drain()
-            if op.kind == INSERT:
-                service.add_edge(op.u, op.v)
-            elif op.kind == DELETE:
-                service.remove_edge(op.u, op.v)
+            shed += drain()
+            try:
+                if op.kind == INSERT:
+                    service.add_edge(op.u, op.v)
+                elif op.kind == DELETE:
+                    service.remove_edge(op.u, op.v)
+            except Exception:
+                # Failed updates are atomic (the service fires faults
+                # before mutating), so the stream stays replayable.
+                failed_updates += 1
             num_updates += 1
-    drain()
+    shed += drain()
     wall = time.perf_counter() - start
 
     return ReplayResult(
@@ -116,4 +135,6 @@ def replay_workload(
         wall_seconds=wall,
         outcomes=[o for o in outcomes if o is not None],
         stats=service.stats(),
+        failed_updates=failed_updates,
+        shed_queries=shed,
     )

@@ -7,18 +7,48 @@ pipeline:
 1. **fast path** — O(1) observations (:mod:`repro.service.fastpath`);
 2. **cache** — version-stamped LRU lookups (:mod:`repro.service.cache`);
 3. **engine** — the full exact search, whose answer is cached;
-4. **degraded** — when a per-query deadline has already expired while the
-   query waited, a budget-bounded bidirectional search runs instead of the
-   full engine. If it completes inside the budget (a meet, or a frontier
-   exhausted) the answer is still exact; only a budget overrun returns the
-   approximate best guess with ``confident=False``.
+4. **degraded** — when the query's budget (deadline, edge ceiling, or a
+   cancel token) expires — before the search starts *or cooperatively in
+   the middle of it* — a budget-bounded bidirectional search answers
+   instead, seeded with the interrupted search's partial state when the
+   engine could export it soundly. If it completes inside its own budget
+   (a meet, or a frontier exhausted) the answer is still exact; only a
+   budget overrun returns the approximate best guess ``confident=False``.
+
+Fault tolerance (the containment ladder)
+----------------------------------------
+Every stage is allowed to fail without failing the query:
+
+* fast-path / cache / freeze errors fall through to the next stage
+  (counted as ``stage_errors_*``);
+* engine errors feed the substrate :class:`~repro.service.faults.CircuitBreaker`
+  and the query retries on the lazily built dict-substrate fallback twin
+  (``via="engine-fallback"``); an open breaker routes queries straight to
+  the fallback until its half-open probe — which runs *both* substrates
+  and compares verdicts — re-closes it;
+* a failing fallback degrades (``detail="engine-error"``), and a failing
+  degraded search still returns an outcome (``via="error"``) — the
+  pipeline never raises out of a query;
+* update faults raise *before* any mutation, so callers see the error and
+  the graph stays consistent; journal-append faults after the mutation
+  sacrifice durability, never availability (counted ``journal_errors``).
+
+Durability
+----------
+With a :class:`~repro.graph.journal.UpdateJournal` attached, every
+effective update appends one version-stamped record inside the write
+lock (journal order == version order). :meth:`recover` replays a journal
+into a fresh service whose graph — version counter included — matches the
+pre-crash state exactly.
 
 Consistency model: every query observes one frozen snapshot. Workers hold
-a shared read lock for the whole pipeline; updates take the write lock,
-mutate the graph (bumping its version), repair the pruner's structure, and
-advance the cache's invalidation barriers. The version recorded in each
-:class:`QueryOutcome` identifies exactly which snapshot answered it, which
-the stress tests exploit to replay a BFS oracle per answered version.
+a shared read lock for the whole pipeline; updates take the write lock
+(optionally with a timeout that raises
+:class:`~repro.service.concurrency.ServiceTimeout`), mutate the graph,
+repair the pruner, journal the mutation, and advance the cache barriers.
+The version recorded in each :class:`QueryOutcome` identifies exactly
+which snapshot answered it, which the stress tests exploit to replay a
+BFS oracle per answered version.
 """
 
 from __future__ import annotations
@@ -27,18 +57,22 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from collections import deque
 
 from repro.baselines.base import ReachabilityMethod
+from repro.core.budget import Budget, BudgetExceeded, CancelToken, PartialSearchState
 from repro.core.ifca import IFCAMethod
 from repro.core.params import IFCAParams
 from repro.graph import kernels
 from repro.graph.digraph import DynamicDiGraph
+from repro.graph.journal import UpdateJournal
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock
 from repro.service.fastpath import FastPathPruner, UpdateEffect
+from repro.service.faults import CircuitBreaker, FaultInjector, FaultPlan, StagePolicy
 from repro.service.stats import ServiceStats
 
 
@@ -50,16 +84,21 @@ class QueryOutcome:
     target: int
     answer: bool
     #: ``True`` for exact answers (fast path, cache, engine, or a degraded
-    #: run that still *proved* its answer); ``False`` only for the
-    #: best-effort guess a blown deadline degrades to.
+    #: run that still *proved* its answer); ``False`` for the best-effort
+    #: guess of a blown budget, a shed query, or a total pipeline failure.
     confident: bool
     #: Which stage produced the answer:
-    #: ``"fastpath" | "cache" | "engine" | "degraded"``.
+    #: ``"fastpath" | "cache" | "engine" | "engine-fallback" | "degraded"
+    #: | "shed" | "error"``.
     via: str
     #: Graph version of the snapshot the answer is exact for.
     version: int
-    #: Stage detail (fast-path rule name, engine termination reason, ...).
+    #: Stage detail (fast-path rule name, engine termination reason,
+    #: ``retry-after-ms=N`` for shed queries, ...).
     detail: str = ""
+
+
+_DEFAULT_POLICY = StagePolicy()
 
 
 class ReachabilityService:
@@ -77,10 +116,15 @@ class ReachabilityService:
     cache_capacity, num_supportive, seed, rebuild_cooldown:
         Tuning for the cache and fast-path stages.
     deadline_s:
-        Default per-query deadline (``None`` = never degrade). Measured
-        from submission, checked when a worker picks the query up.
+        Default per-query deadline (``None`` = never degrade on time).
+        Measured from submission and enforced *cooperatively*: the engine
+        checkpoints its budget mid-search and hands partial state to the
+        degraded search on expiry.
     degrade_budget:
         Edge-access budget of the degraded bounded search.
+    engine_edge_budget:
+        Per-query edge-access ceiling for the engine stage (``None`` =
+        unbounded). Exceeding it degrades exactly like a blown deadline.
     use_kernels:
         Freeze one CSR snapshot per graph version (lazily, on engine-stage
         demand) so every search on that version runs the vectorized
@@ -89,17 +133,33 @@ class ReachabilityService:
     push_kernels:
         Let the default IFCA engine run its *guided phase* on the
         array-state push kernels too (``IFCAParams.use_push_kernels``).
-        Only meaningful with ``use_kernels`` and the default
-        ``method_factory``; per-version snapshots are shared read-only by
-        concurrent workers (each query carries its own state arrays), and
-        queries landing on a mid-churn version simply use the dict twins.
-        The ``push_kernel_queries`` counter reports how many engine-stage
-        answers actually came from the array path.
     csr_freeze_threshold:
         How many engine-stage queries one graph version must attract
-        before its snapshot is frozen. 1 freezes eagerly on first demand;
-        larger values keep update-heavy phases (few queries per epoch)
-        from paying freezes that never amortize.
+        before its snapshot is frozen.
+    journal:
+        An :class:`~repro.graph.journal.UpdateJournal`, or a path to open
+        one at (the service then owns and closes it). Every effective
+        update is journaled inside the write lock.
+    fault_plan:
+        A :class:`~repro.service.faults.FaultPlan` or ready
+        :class:`~repro.service.faults.FaultInjector` to arm. Installs a
+        process-wide kernel fault hook for the plan's ``kernel`` stage
+        (restored on :meth:`close`) — arm chaos on one service at a time.
+    max_pending:
+        Admission control: :meth:`submit` sheds (``via="shed"``, with a
+        ``retry-after-ms`` hint) once this many submitted queries are
+        unfinished. 0 disables shedding.
+    stage_policies:
+        Per-stage :class:`~repro.service.faults.StagePolicy` overrides.
+        ``engine``: ``timeout_s`` folds into the query budget,
+        ``max_retries``/``backoff_s`` drive the fallback retry.
+        ``update``: ``timeout_s`` bounds write-lock acquisition.
+    breaker_failures, breaker_probe_s:
+        Circuit-breaker trip threshold and half-open probe interval.
+    fallback_factory:
+        Builds the engine-stage fallback method (default: a dict-substrate
+        ``IFCAMethod`` with all kernels off — deliberately not sharing the
+        primary's substrate).
     """
 
     def __init__(
@@ -116,9 +176,20 @@ class ReachabilityService:
         rebuild_cooldown: int = 32,
         deadline_s: Optional[float] = None,
         degrade_budget: int = 2048,
+        engine_edge_budget: Optional[int] = None,
         use_kernels: bool = True,
         push_kernels: bool = True,
         csr_freeze_threshold: int = 2,
+        journal: Union[UpdateJournal, str, Path, None] = None,
+        journal_fsync_every: int = 64,
+        fault_plan: Union[FaultPlan, FaultInjector, None] = None,
+        max_pending: int = 0,
+        stage_policies: Optional[Dict[str, StagePolicy]] = None,
+        breaker_failures: int = 3,
+        breaker_probe_s: float = 0.25,
+        fallback_factory: Optional[
+            Callable[[DynamicDiGraph], ReachabilityMethod]
+        ] = None,
     ) -> None:
         self.graph = graph if graph is not None else DynamicDiGraph()
         if method_factory is not None:
@@ -128,8 +199,22 @@ class ReachabilityService:
                 g, IFCAParams(use_push_kernels=push_kernels)
             )
         self.method = factory(self.graph)
+        if fallback_factory is None:
+            # A custom primary gets a second instance of itself as the
+            # fallback (it is the only method we know answers this graph);
+            # the default primary gets the dict-substrate IFCA twin.
+            if method_factory is not None:
+                fallback_factory = method_factory
+            else:
+                fallback_factory = lambda g: IFCAMethod(  # noqa: E731
+                    g, IFCAParams(use_kernels=False, use_push_kernels=False)
+                )
+        self._fallback_factory = fallback_factory
+        self._fallback: Optional[ReachabilityMethod] = None
+        self._fallback_lock = threading.Lock()
         self.deadline_s = deadline_s
         self.degrade_budget = degrade_budget
+        self.engine_edge_budget = engine_edge_budget
         self.use_kernels = use_kernels and kernels.kernels_enabled()
         self._lock = RWLock()
         self._pruner = FastPathPruner(
@@ -151,6 +236,35 @@ class ReachabilityService:
         self._csr_demand = 0
         self._csr_demand_version = -1
 
+        self._policies = dict(stage_policies) if stage_policies else {}
+        self._breaker = CircuitBreaker(breaker_failures, breaker_probe_s)
+        self._cancel = CancelToken()
+        self.max_pending = max(0, max_pending)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+
+        self._owns_journal = isinstance(journal, (str, Path))
+        self._journal: Optional[UpdateJournal] = (
+            UpdateJournal(
+                journal,
+                fsync_every=journal_fsync_every,
+                graph_version=self.graph.version,
+            )
+            if self._owns_journal
+            else journal
+        )
+
+        if isinstance(fault_plan, FaultPlan):
+            fault_plan = fault_plan.injector()
+        self._injector: Optional[FaultInjector] = fault_plan
+        self._prev_kernel_hook = None
+        self._kernel_hook_armed = False
+        if self._injector is not None:
+            self._prev_kernel_hook = kernels.set_fault_hook(
+                self._injector.kernel_hook()
+            )
+            self._kernel_hook_armed = True
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -167,12 +281,25 @@ class ReachabilityService:
             )
         return self._pool
 
-    def close(self) -> None:
-        """Drain in-flight work and release the worker threads."""
+    def close(self, cancel_inflight: bool = False) -> None:
+        """Drain in-flight work and release the worker threads.
+
+        ``cancel_inflight=True`` trips the service-wide cancel token
+        first, so running searches exit cooperatively at their next
+        checkpoint (their queries resolve as degraded outcomes) instead
+        of running to completion.
+        """
         self._closed = True
+        if cancel_inflight:
+            self._cancel.cancel()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._kernel_hook_armed:
+            kernels.set_fault_hook(self._prev_kernel_hook)
+            self._kernel_hook_armed = False
+        if self._journal is not None and self._owns_journal:
+            self._journal.close()
 
     def __enter__(self) -> "ReachabilityService":
         return self
@@ -181,34 +308,100 @@ class ReachabilityService:
         self.close()
 
     # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        journal_path: Union[str, Path],
+        base_graph: Optional[DynamicDiGraph] = None,
+        **kwargs,
+    ) -> "ReachabilityService":
+        """Rebuild a service from its write-ahead journal.
+
+        Replays the journal (on ``base_graph`` or the checkpoint it
+        names), realigns the version counter, and opens a service that
+        resumes appending to the same journal. All remaining keyword
+        arguments are forwarded to the constructor.
+        """
+        from repro.graph.journal import replay
+
+        result = replay(journal_path, base_graph)
+        service = cls(graph=result.graph, journal=journal_path, **kwargs)
+        service._stats.incr("journal_recovered_records", result.applied)
+        if result.torn_tail:
+            service._stats.incr("journal_torn_tail")
+        return service
+
+    # ------------------------------------------------------------------
+    # Fault plumbing
+    # ------------------------------------------------------------------
+    def _fire(self, stage: str) -> None:
+        if self._injector is not None:
+            self._injector.fire(stage)
+
+    def _policy(self, stage: str) -> StagePolicy:
+        policy = self._policies.get(stage)
+        return policy if policy is not None else _DEFAULT_POLICY
+
+    # ------------------------------------------------------------------
     # Updates (exclusive)
     # ------------------------------------------------------------------
     def add_edge(self, u: int, v: int) -> UpdateEffect:
         """Route an edge insertion through the service."""
-        self._check_open()
-        start = time.perf_counter()
-        with self._lock.write:
-            effect = self._pruner.apply_insert(u, v)
-            self._note_update(effect, "inserts")
-        self._stats.observe_latency("update", time.perf_counter() - start)
-        return effect
+        return self._update(u, v, insert=True)
 
     def remove_edge(self, u: int, v: int) -> UpdateEffect:
         """Route an edge deletion through the service."""
+        return self._update(u, v, insert=False)
+
+    def _update(self, u: int, v: int, insert: bool) -> UpdateEffect:
         self._check_open()
         start = time.perf_counter()
-        with self._lock.write:
-            effect = self._pruner.apply_delete(u, v)
-            self._note_update(effect, "deletes")
+        timeout = self._policy("update").timeout_s
+        with self._lock.write_timeout(timeout):
+            # Fire *before* any mutation: an injected (or real) update
+            # fault propagates to the caller with the graph, pruner, and
+            # journal all untouched — failed updates are atomic.
+            self._fire("update")
+            if insert:
+                effect = self._pruner.apply_insert(u, v)
+            else:
+                effect = self._pruner.apply_delete(u, v)
+            if effect.changed:
+                self._journal_record(insert, u, v, effect.version)
+            self._note_update(effect, "inserts" if insert else "deletes")
         self._stats.observe_latency("update", time.perf_counter() - start)
         return effect
 
     def add_vertex(self, v: int) -> UpdateEffect:
         self._check_open()
-        with self._lock.write:
+        timeout = self._policy("update").timeout_s
+        with self._lock.write_timeout(timeout):
             effect = self._pruner.add_vertex(v)
             self._note_update(effect, "vertex_adds")
         return effect
+
+    def _journal_record(self, insert: bool, u: int, v: int, version: int) -> None:
+        """Append one applied mutation to the journal (if any).
+
+        A journal failure after the in-memory mutation cannot be rolled
+        back, so it is contained: availability wins, the lost record is
+        counted, and recovery from this journal will be missing it —
+        which the ``journal_errors`` counter makes auditable.
+        """
+        if self._journal is None:
+            return
+        start = time.perf_counter()
+        try:
+            self._fire("journal")
+            if insert:
+                self._journal.record_insert(u, v, version)
+            else:
+                self._journal.record_delete(u, v, version)
+        except Exception:
+            self._stats.incr("journal_errors")
+        self._stats.observe_latency("journal", time.perf_counter() - start)
 
     def _note_update(self, effect: UpdateEffect, kind: str) -> None:
         self._stats.incr(f"updates_{kind}")
@@ -241,12 +434,63 @@ class ReachabilityService:
     def submit(
         self, source: int, target: int, deadline_s: Optional[float] = None
     ) -> "Future[QueryOutcome]":
-        """Queue one query on the worker pool; returns a future."""
+        """Queue one query on the worker pool; returns a future.
+
+        With ``max_pending`` set, an overloaded service sheds instead of
+        queueing unboundedly: the future resolves immediately to a
+        ``via="shed"`` outcome whose detail carries a ``retry-after-ms``
+        hint derived from the live engine-stage mean latency.
+        """
         deadline_s = self.deadline_s if deadline_s is None else deadline_s
         deadline = (
             time.perf_counter() + deadline_s if deadline_s is not None else None
         )
+        if self.max_pending:
+            with self._pending_lock:
+                if self._pending >= self.max_pending:
+                    shed = True
+                    backlog = self._pending
+                else:
+                    shed = False
+                    self._pending += 1
+            if shed:
+                return self._shed(source, target, backlog)
+            return self._executor().submit(
+                self._serve_tracked, source, target, deadline
+            )
         return self._executor().submit(self._serve, source, target, deadline)
+
+    def _serve_tracked(
+        self, source: int, target: int, deadline: Optional[float]
+    ) -> QueryOutcome:
+        try:
+            return self._serve(source, target, deadline)
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def _shed(self, source: int, target: int, backlog: int) -> "Future[QueryOutcome]":
+        self._stats.incr("shed")
+        mean = self._stats.stage_mean_seconds("engine") or 1e-3
+        retry_ms = max(1, int(1000.0 * backlog * mean / self._num_workers))
+        future: "Future[QueryOutcome]" = Future()
+        future.set_result(
+            QueryOutcome(
+                source,
+                target,
+                False,
+                False,
+                "shed",
+                self.graph.version,  # advisory; read without the lock
+                f"retry-after-ms={retry_ms}",
+            )
+        )
+        return future
+
+    @property
+    def pending(self) -> int:
+        with self._pending_lock:
+            return self._pending
 
     def query_batch(
         self,
@@ -274,10 +518,15 @@ class ReachabilityService:
         self._stats.incr("queries")
         with self._lock.read:
             version = self.graph.version
-            self._pruner.observe_query()
 
             start = time.perf_counter()
-            observed = self._pruner.check(source, target)
+            try:
+                self._fire("fastpath")
+                self._pruner.observe_query()
+                observed = self._pruner.check(source, target)
+            except Exception:
+                self._stats.incr("stage_errors_fastpath")
+                observed = None
             self._stats.observe_latency("fastpath", time.perf_counter() - start)
             if observed is not None:
                 answer, rule = observed
@@ -287,7 +536,12 @@ class ReachabilityService:
                 )
 
             start = time.perf_counter()
-            cached = self._cache.get(source, target)
+            try:
+                self._fire("cache")
+                cached = self._cache.get(source, target)
+            except Exception:
+                self._stats.incr("stage_errors_cache")
+                cached = None
             self._stats.observe_latency("cache", time.perf_counter() - start)
             if cached is not None:
                 self._stats.incr("cache_hits")
@@ -297,17 +551,20 @@ class ReachabilityService:
             self._stats.incr("cache_misses")
 
             if deadline is not None and time.perf_counter() > deadline:
-                return self._degraded(source, target, version)
+                return self._degraded(source, target, version, None, "pre-engine")
 
-            self._ensure_csr(version)
-            start = time.perf_counter()
-            answer, detail = self._run_engine(source, target)
-            self._stats.observe_latency("engine", time.perf_counter() - start)
-            self._stats.incr("engine_calls")
-            self._cache.put(source, target, answer, version)
-            return QueryOutcome(
-                source, target, answer, True, "engine", version, detail
-            )
+            try:
+                self._ensure_csr(version)
+            except Exception:
+                self._stats.incr("stage_errors_freeze")
+
+            try:
+                return self._engine_stage(source, target, deadline, version)
+            except BudgetExceeded as exc:
+                self._stats.incr("budget_degraded")
+                return self._degraded(
+                    source, target, version, exc.partial, exc.reason
+                )
 
     def _ensure_csr(self, version: int) -> None:
         """Freeze one shared CSR snapshot per graph version, on demand.
@@ -332,35 +589,221 @@ class ReachabilityService:
             if self._csr_demand < self._csr_threshold:
                 return
             start = time.perf_counter()
+            self._fire("freeze")
             self.graph.csr(build=True)
             self._stats.observe_latency("freeze", time.perf_counter() - start)
             self._stats.incr("csr_freezes")
 
-    def _run_engine(self, source: int, target: int) -> Tuple[bool, str]:
-        engine = getattr(self.method, "engine", None)
+    # ------------------------------------------------------------------
+    # Engine stage: budget + circuit breaker + fallback
+    # ------------------------------------------------------------------
+    def _engine_stage(
+        self,
+        source: int,
+        target: int,
+        deadline: Optional[float],
+        version: int,
+    ) -> QueryOutcome:
+        policy = self._policy("engine")
+        budget = self._make_budget(deadline, policy)
+        allowed, probing = self._breaker.acquire()
+
+        if allowed:
+            start = time.perf_counter()
+            try:
+                self._fire("engine")
+                answer, detail = self._run_engine(
+                    self.method, source, target, budget
+                )
+            except BudgetExceeded:
+                # Cooperative cancellation is not a substrate failure. A
+                # half-open probe interrupted this way is inconclusive:
+                # return the breaker to OPEN (no trip counted) and let a
+                # later probe decide.
+                if probing:
+                    self._breaker.record_failure()
+                raise
+            except Exception:
+                self._stats.incr("engine_failures")
+                self._breaker.record_failure()
+            else:
+                self._stats.observe_latency(
+                    "engine", time.perf_counter() - start
+                )
+                self._stats.incr("engine_calls")
+                if probing:
+                    verdict_ok = self._verdict_probe(
+                        source, target, answer, budget
+                    )
+                    if not verdict_ok:
+                        # The primary substrate answers but answers
+                        # *wrongly*; trust the dict twin instead.
+                        return self._fallback_outcome(
+                            source, target, budget, version, policy
+                        )
+                else:
+                    self._breaker.record_success()
+                self._cache.put(source, target, answer, version, confident=True)
+                return QueryOutcome(
+                    source, target, answer, True, "engine", version, detail
+                )
+
+        return self._fallback_outcome(source, target, budget, version, policy)
+
+    def _verdict_probe(
+        self, source: int, target: int, answer: bool, budget: Optional[Budget]
+    ) -> bool:
+        """Half-open probe: re-answer on the dict twin and compare.
+
+        A matching verdict re-closes the breaker; a mismatch (the
+        verdict-contract violation) re-opens it. A probe the budget
+        interrupts is inconclusive and re-opens without a verdict.
+        """
+        try:
+            expected, _ = self._run_engine(
+                self._fallback_method(), source, target, budget
+            )
+        except BudgetExceeded:
+            self._breaker.record_failure()
+            raise
+        except Exception:
+            self._stats.incr("engine_failures")
+            self._breaker.record_failure()
+            return True  # fallback itself failed; keep the primary answer
+        if expected != answer:
+            self._stats.incr("verdict_mismatches")
+            self._breaker.record_failure()
+            return False
+        self._breaker.record_success()
+        return True
+
+    def _fallback_outcome(
+        self,
+        source: int,
+        target: int,
+        budget: Optional[Budget],
+        version: int,
+        policy: StagePolicy,
+    ) -> QueryOutcome:
+        """Answer on the dict-substrate twin (breaker open or primary
+        failed), with the stage policy's retry/backoff discipline."""
+        attempts = 1 + max(0, policy.max_retries)
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt and policy.backoff_s:
+                time.sleep(policy.backoff_s)
+            start = time.perf_counter()
+            try:
+                self._fire("engine")
+                answer, detail = self._run_engine(
+                    self._fallback_method(), source, target, budget
+                )
+            except BudgetExceeded:
+                raise
+            except Exception as exc:
+                self._stats.incr("engine_failures")
+                last_error = exc
+                continue
+            self._stats.observe_latency("engine", time.perf_counter() - start)
+            self._stats.incr("engine_calls")
+            self._stats.incr("engine_fallbacks")
+            self._cache.put(source, target, answer, version, confident=True)
+            return QueryOutcome(
+                source, target, answer, True, "engine-fallback", version, detail
+            )
+        # Both substrates failed: last resort is the degraded search.
+        del last_error
+        return self._degraded(source, target, version, None, "engine-error")
+
+    def _fallback_method(self) -> ReachabilityMethod:
+        if self._fallback is None:
+            with self._fallback_lock:
+                if self._fallback is None:
+                    self._fallback = self._fallback_factory(self.graph)
+        return self._fallback
+
+    def _make_budget(
+        self, deadline: Optional[float], policy: StagePolicy
+    ) -> Optional[Budget]:
+        effective = deadline
+        if policy.timeout_s is not None:
+            stage_deadline = time.perf_counter() + policy.timeout_s
+            effective = (
+                stage_deadline
+                if effective is None
+                else min(effective, stage_deadline)
+            )
+        # A budget always carries the service-wide cancel token so that
+        # close(cancel_inflight=True) can interrupt any running search.
+        return Budget(
+            deadline=effective,
+            edge_ceiling=self.engine_edge_budget,
+            token=self._cancel,
+        )
+
+    def _run_engine(
+        self,
+        method: ReachabilityMethod,
+        source: int,
+        target: int,
+        budget: Optional[Budget],
+    ) -> Tuple[bool, str]:
+        engine = getattr(method, "engine", None)
         if engine is not None and hasattr(engine, "query_with_stats"):
-            answer, qstats = engine.query_with_stats(source, target)
+            if budget is not None and getattr(engine, "supports_budget", False):
+                answer, qstats = engine.query_with_stats(
+                    source, target, budget=budget
+                )
+            else:
+                answer, qstats = engine.query_with_stats(source, target)
             if qstats.used_push_kernel:
                 self._stats.incr("push_kernel_queries")
             return answer, qstats.terminated_by
-        return self.method.query(source, target), ""
+        return method.query(source, target), ""
 
-    def _degraded(self, source: int, target: int, version: int) -> QueryOutcome:
-        """Deadline blown before the search started: answer cheaply.
+    # ------------------------------------------------------------------
+    # Degraded stage
+    # ------------------------------------------------------------------
+    def _degraded(
+        self,
+        source: int,
+        target: int,
+        version: int,
+        partial: Optional[PartialSearchState] = None,
+        why: str = "",
+    ) -> QueryOutcome:
+        """Budget blown (or both engine substrates down): answer cheaply.
 
         A frontier-balanced bidirectional BFS runs with a hard edge-access
-        budget. A meet proves ``True`` and an exhausted frontier proves
+        budget, seeded with the interrupted engine search's partial state
+        when one was exported — the work already spent is kept, not
+        redone. A meet proves ``True`` and an exhausted frontier proves
         ``False`` (both still confident); hitting the budget returns the
         best-effort ``False`` flagged ``confident=False``. The answer is
-        cached only when it is exact.
+        cached only when it is exact, and even a failing degraded search
+        returns an outcome (``via="error"``) rather than raising.
         """
         start = time.perf_counter()
         self._stats.incr("degraded")
-        answer, confident, detail = _bounded_bibfs(
-            self.graph, source, target, self.degrade_budget
-        )
+        try:
+            self._fire("degraded")
+            answer, confident, detail = _bounded_bibfs(
+                self.graph, source, target, self.degrade_budget, partial
+            )
+        except Exception:
+            self._stats.incr("stage_errors_degraded")
+            self._stats.observe_latency("degraded", time.perf_counter() - start)
+            return QueryOutcome(
+                source, target, False, False, "error", version,
+                f"degraded-failed:{why}" if why else "degraded-failed",
+            )
         if confident:
-            self._cache.put(source, target, answer, version)
+            self._cache.put(source, target, answer, version, confident=True)
+        if partial is not None:
+            self._stats.incr("degraded_resumed")
+            detail = f"resumed:{detail}"
+        if why:
+            detail = f"{why}:{detail}"
         self._stats.observe_latency("degraded", time.perf_counter() - start)
         return QueryOutcome(
             source, target, answer, confident, "degraded", version, detail
@@ -377,12 +820,25 @@ class ReachabilityService:
         counters["cache_stale_evictions"] = (  # type: ignore[index]
             self._cache.stale_evictions
         )
+        counters["cache_unconfident_rejections"] = (  # type: ignore[index]
+            self._cache.unconfident_rejections
+        )
         counters["sample_rebuilds"] = (  # type: ignore[index]
             self._pruner.sample_rebuilds
         )
         counters["kernel_sample_rebuilds"] = (  # type: ignore[index]
             self._pruner.kernel_rebuilds
         )
+        counters["breaker_trips"] = self._breaker.trips  # type: ignore[index]
+        counters["breaker_probes"] = self._breaker.probes  # type: ignore[index]
+        snapshot["breaker_state"] = self._breaker.state
+        if self._injector is not None:
+            snapshot["faults_fired"] = self._injector.fired
+        if self._journal is not None:
+            snapshot["journal"] = {
+                "records_written": self._journal.records_written,
+                "sync_count": self._journal.sync_count,
+            }
         snapshot["graph"] = {
             "num_vertices": self.graph.num_vertices,
             "num_edges": self.graph.num_edges,
@@ -399,27 +855,63 @@ class ReachabilityService:
     def cache(self) -> VersionedQueryCache:
         return self._cache
 
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    @property
+    def journal(self) -> Optional[UpdateJournal]:
+        return self._journal
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        return self._injector
+
+    @property
+    def cancel_token(self) -> CancelToken:
+        return self._cancel
+
 
 def _bounded_bibfs(
     graph: DynamicDiGraph,
     source: int,
     target: int,
     budget: int,
+    partial: Optional[PartialSearchState] = None,
 ) -> Tuple[bool, bool, str]:
     """Bidirectional BFS that stops after ``budget`` edge accesses.
 
     Returns ``(answer, exact, detail)``. Expands the smaller frontier
     first (the engine's own BiBFS discipline), so short positive paths and
     small reachable sets resolve exactly within tiny budgets.
+
+    ``partial`` seeds the search with an interrupted engine search's
+    visited sets and frontiers (see
+    :class:`~repro.core.budget.PartialSearchState` for the soundness
+    invariant): an empty seeded frontier is already a proof of the
+    negative, and any meet found from the seeded state proves the positive
+    exactly as a fresh search would.
     """
     if source == target:
         return True, True, "identity"
     if source not in graph or target not in graph:
         return False, True, "missing-endpoint"
-    fwd_seen = {source}
-    rev_seen = {target}
-    fwd_frontier = deque([source])
-    rev_frontier = deque([target])
+    if partial is not None:
+        fwd_seen = set(partial.fwd_visited)
+        rev_seen = set(partial.rev_visited)
+        fwd_seen.add(source)
+        rev_seen.add(target)
+        if fwd_seen & rev_seen:
+            # The engine checks meets at visit time, so overlapping seeds
+            # normally cannot happen — but if they do, it is a meet.
+            return True, True, "meet"
+        fwd_frontier = deque(partial.fwd_frontier)
+        rev_frontier = deque(partial.rev_frontier)
+    else:
+        fwd_seen = {source}
+        rev_seen = {target}
+        fwd_frontier = deque([source])
+        rev_frontier = deque([target])
     accesses = 0
     while fwd_frontier and rev_frontier:
         forward = len(fwd_frontier) <= len(rev_frontier)

@@ -18,8 +18,9 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 #: Pipeline stages tracked by the latency histograms. ``freeze`` is the
-#: per-epoch CSR snapshot build the kernel path amortizes over queries.
-STAGES = ("fastpath", "cache", "engine", "degraded", "update", "freeze")
+#: per-epoch CSR snapshot build the kernel path amortizes over queries;
+#: ``journal`` is the write-ahead append (fsync batches show as spikes).
+STAGES = ("fastpath", "cache", "engine", "degraded", "update", "freeze", "journal")
 
 _BUCKETS = 40  # 2**40 us ~ 12.7 days; effectively unbounded
 
@@ -105,6 +106,16 @@ class ServiceStats:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def stage_mean_seconds(self, stage: str) -> float:
+        """Mean observed latency of one stage (0.0 before any sample).
+
+        Admission control reads this to derive its retry-after hint from
+        live behavior instead of a configured constant.
+        """
+        with self._lock:
+            hist = self._histograms[stage]
+            return hist.total_seconds / hist.count if hist.count else 0.0
 
     def snapshot(self) -> Dict[str, object]:
         """One coherent view: counters, derived rates, stage latencies."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 
 import pytest
 
@@ -20,6 +21,8 @@ from repro.graph.traversal import is_reachable_bfs
 from repro.service import (
     ReachabilityService,
     RWLock,
+    ServiceTimeout,
+    StagePolicy,
     VersionedQueryCache,
     replay_workload,
 )
@@ -447,3 +450,153 @@ class TestConcurrentStress:
                 mismatches.append((outcome, expected))
         assert not mismatches, mismatches[:5]
         assert len(outcomes) == self.NUM_QUERY_THREADS * self.QUERIES_PER_THREAD
+
+
+# ----------------------------------------------------------------------
+# Write-lock timeouts (ServiceTimeout)
+# ----------------------------------------------------------------------
+class TestWriteTimeout:
+    def test_acquire_write_times_out_with_diagnostics(self):
+        lock = RWLock()
+        lock.acquire_read()
+        try:
+            started = time.perf_counter()
+            with pytest.raises(ServiceTimeout) as err:
+                lock.acquire_write(timeout=0.05)
+            assert time.perf_counter() - started < 5.0
+            # The message names the blocker class for production logs.
+            assert "readers=1" in str(err.value)
+            assert "writer_active=False" in str(err.value)
+        finally:
+            lock.release_read()
+        # The writer slot was not taken: a plain acquire still works.
+        lock.acquire_write()
+        lock.release_write()
+
+    def test_acquire_write_without_timeout_still_blocks(self):
+        lock = RWLock()
+        lock.acquire_read()
+        acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            acquired.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert not acquired.wait(0.05)
+        lock.release_read()
+        assert acquired.wait(5.0)
+        thread.join()
+
+    def test_service_update_times_out_under_stuck_reader(self):
+        service = ReachabilityService(
+            DynamicDiGraph(edges=[(0, 1)]),
+            num_workers=1,
+            stage_policies={"update": StagePolicy(timeout_s=0.05)},
+        )
+        service._lock.acquire_read()  # a reader that never finishes
+        try:
+            with pytest.raises(ServiceTimeout):
+                service.add_edge(1, 2)
+            assert not service.graph.has_edge(1, 2)
+        finally:
+            service._lock.release_read()
+        service.add_edge(1, 2)  # reader gone: the update goes through
+        assert service.graph.has_edge(1, 2)
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# The cache's confident gate (regression: degraded guesses must not
+# masquerade as exact answers)
+# ----------------------------------------------------------------------
+class TestCacheConfidentGate:
+    def test_unconfident_put_is_rejected(self):
+        cache = VersionedQueryCache(8)
+        cache.put(1, 2, True, version=5, confident=False)
+        assert cache.peek(1, 2) is None
+        assert cache.unconfident_rejections == 1
+        cache.put(1, 2, True, version=5, confident=True)
+        assert cache.peek(1, 2) == (True, 5)
+
+    def test_degraded_guess_never_reaches_the_cache(self):
+        # A long path with a tiny degraded budget: the bounded search
+        # cannot finish, so its best-effort False must not be cached.
+        path = DynamicDiGraph(edges=[(i, i + 1) for i in range(199)])
+        with ReachabilityService(
+            path,
+            num_workers=1,
+            num_supportive=0,
+            deadline_s=0.0,  # expired on arrival: every search degrades
+            degrade_budget=10,
+            use_kernels=False,
+        ) as service:
+            out = service.query(0, 199)
+            assert out.via == "degraded"
+            assert out.confident is False
+            assert service.cache.peek(0, 199) is None
+            # An exact degraded proof (short hop) is cached.
+            out2 = service.query(0, 1)
+            assert out2.confident is True
+            assert service.cache.peek(0, 1) is not None
+
+
+# ----------------------------------------------------------------------
+# Mid-churn substrate fallback: push kernels racing updates
+# ----------------------------------------------------------------------
+class TestMidChurnFallback:
+    def test_unfrozen_versions_serve_on_dict_substrate(self):
+        """Churn faster than the freeze threshold: every query lands on a
+        version whose CSR snapshot never exists, so the engine must serve
+        from the dict substrate (push kernels silently disengage) and
+        every confident answer must match a per-version BFS oracle."""
+        rng = random.Random(31)
+        graph = random_graph(60, 150, seed=31)
+        service = ReachabilityService(
+            graph,
+            num_workers=2,
+            num_supportive=0,
+            cache_capacity=16,
+            use_kernels=True,
+            push_kernels=True,
+            csr_freeze_threshold=10**9,  # never freeze: permanent churn
+        )
+        shadow = {service.graph.version: frozenset(service.graph.edges())}
+        outcomes = []
+        for round_no in range(25):
+            futures = [
+                service.submit(rng.randrange(60), rng.randrange(60))
+                for _ in range(8)
+            ]
+            outcomes.extend(f.result() for f in futures)
+            u, v = rng.randrange(60), rng.randrange(60)
+            if u != v:
+                if service.graph.has_edge(u, v):
+                    service.remove_edge(u, v)
+                else:
+                    service.add_edge(u, v)
+                shadow[service.graph.version] = frozenset(
+                    service.graph.edges()
+                )
+        counters = service.stats()["counters"]
+        service.close()
+        # No version ever froze, so no query ran the array kernels.
+        assert counters.get("push_kernel_queries", 0) == 0
+        assert counters.get("csr_freezes", 0) == 0
+        checked = 0
+        for outcome in outcomes:
+            if not outcome.confident or outcome.version not in shadow:
+                continue
+            checked += 1
+            oracle_graph = DynamicDiGraph(
+                vertices=range(60), edges=sorted(shadow[outcome.version])
+            )
+            expected = is_reachable_bfs(
+                oracle_graph, outcome.source, outcome.target
+            )
+            assert outcome.answer == expected, (
+                f"{outcome.source}->{outcome.target} at v{outcome.version}"
+            )
+        assert checked > 100  # the oracle actually exercised the answers
