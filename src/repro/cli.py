@@ -3,6 +3,7 @@
 Exposes the library's main entry points without writing Python::
 
     python -m repro query GRAPH.txt SOURCE TARGET [--method ifca]
+    python -m repro query-batch GRAPH.txt PAIRS.txt [--strategy auto]
     python -m repro stats GRAPH.txt
     python -m repro generate sbm --block-size 100 --degree 5 OUT.txt
     python -m repro compare EN [--max-updates 250]
@@ -74,6 +75,44 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized kernels (--no-kernels pins the dict path)",
     )
     q.set_defaults(func=cmd_query)
+
+    qb = sub.add_parser(
+        "query-batch",
+        help="answer a batch of reachability queries in one coalesced call",
+    )
+    qb.add_argument("graph", help="edge-list file")
+    qb.add_argument(
+        "pairs",
+        help="file of 's t' query pairs (one per line, '#' comments; "
+        "'-' reads stdin)",
+    )
+    qb.add_argument(
+        "--strategy",
+        choices=["auto", "scalar", "bitparallel"],
+        default="auto",
+        help="batch execution path: bit-parallel kernel waves, the "
+        "per-query scalar pipeline, or the cost-model auto cutover",
+    )
+    qb.add_argument("--workers", type=int, default=4)
+    qb.add_argument("--supportive", type=int, default=4)
+    qb.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="whole-batch deadline; expired work degrades per query",
+    )
+    qb.add_argument(
+        "--kernels",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="allow the bit-parallel CSR path (--no-kernels forces the "
+        "scalar pipeline)",
+    )
+    qb.add_argument("--seed", type=int, default=0)
+    qb.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    qb.set_defaults(func=cmd_query_batch)
 
     s = sub.add_parser("stats", help="print basic statistics of a graph")
     s.add_argument("graph", help="edge-list file")
@@ -200,6 +239,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission control: shed queries once this many are pending "
         "(0 = unbounded)",
     )
+    sb.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="coalesce consecutive queries into query_batch calls of up "
+        "to this many pairs (also bursts the generated workload); "
+        "omitted = per-query replay",
+    )
+    sb.add_argument(
+        "--batch-strategy",
+        choices=["auto", "scalar", "bitparallel"],
+        default="auto",
+        help="execution path for batched replay (see query-batch)",
+    )
     sb.set_defaults(func=cmd_serve_bench)
 
     ch = sub.add_parser(
@@ -282,6 +335,65 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"(method={method.name}, exact={method.exact})"
     )
     return 0 if reachable else 1
+
+
+def cmd_query_batch(args: argparse.Namespace) -> int:
+    from repro.service import ReachabilityService
+
+    graph = read_edge_list(args.graph)
+    pairs: List[tuple] = []
+    handle = sys.stdin if args.pairs == "-" else open(args.pairs, "r")
+    try:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                print(
+                    f"error: {args.pairs}:{lineno}: expected 's t', got {line!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            pairs.append((int(parts[0]), int(parts[1])))
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    if not pairs:
+        print("error: no query pairs given", file=sys.stderr)
+        return 2
+
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    with ReachabilityService(
+        graph,
+        num_workers=args.workers,
+        num_supportive=args.supportive,
+        seed=args.seed,
+        deadline_s=deadline_s,
+        use_kernels=args.kernels,
+    ) as service:
+        outcomes = service.query_batch(pairs, strategy=args.strategy)
+        if not args.quiet:
+            for outcome in outcomes:
+                verdict = "reachable" if outcome.answer else "not reachable"
+                print(
+                    f"{outcome.source} -> {outcome.target}: {verdict} "
+                    f"(via={outcome.via}"
+                    + (f", {outcome.detail}" if outcome.detail else "")
+                    + ")"
+                )
+        counters = service.stats()["counters"]
+        derived = service.stats()["derived"]
+        positives = sum(1 for o in outcomes if o.answer)
+        print(
+            f"{len(outcomes)} queries ({positives} reachable) via "
+            f"strategy={args.strategy}: "
+            f"{counters.get('bit_waves', 0)} bit waves, "
+            f"{counters.get('batch_prefilter_hits', 0)} prefilter hits, "
+            f"{counters.get('batched_dedup', 0)} deduped, "
+            f"word occupancy {derived.get('word_occupancy', 0.0):.1%}"
+        )
+    return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -372,6 +484,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             query_ratio=args.query_ratio,
             skew=args.skew,
             pair_pool=args.pair_pool,
+            batch_size=args.batch_size,
             seed=args.seed,
         )
     if args.save_workload:
@@ -397,7 +510,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         journal=args.journal,
         max_pending=args.max_pending,
     ) as service:
-        result = replay_workload(service, ops, deadline_s=deadline_s)
+        result = replay_workload(
+            service,
+            ops,
+            deadline_s=deadline_s,
+            batch_size=args.batch_size,
+            batch_strategy=args.batch_strategy,
+        )
         row = result.summary_row()
         print(
             f"\n{row['qps']:.0f} queries/s over {result.wall_seconds:.3f}s wall "

@@ -1,0 +1,495 @@
+"""Bit-parallel batched reachability: 64 BiBFS queries per uint64 word.
+
+DBL (Lyu et al., 2021) packs per-vertex reachability labels into machine
+words so one AND/OR compares 64 landmarks at once. This module applies
+the same word-packing to *query execution*: a batch of ``B`` pairs
+becomes an ``(n, ceil(B/64))`` uint64 label matrix per direction, and one
+bidirectional BFS sweep over the frozen CSR snapshot advances *all* lanes
+simultaneously — per-edge work is a word OR over the whole batch instead
+of a per-query set insertion, so Python/numpy dispatch cost is paid once
+per layer for the batch rather than once per layer per query.
+
+Lane semantics
+--------------
+Lane ``q`` (bit ``q % 64`` of word ``q // 64``) belongs to pair
+``(sources[q], targets[q])``:
+
+* ``label_f[v]`` carries bit ``q`` iff ``v`` is reachable from
+  ``sources[q]`` through the layers explored so far;
+* ``label_r[v]`` carries bit ``q`` iff ``targets[q]`` is reachable from
+  ``v`` likewise;
+* a **meet** — ``label_f[v] & label_r[v]`` non-zero in lane ``q`` — proves
+  the positive;
+* a lane that stops appearing on one side's frontier has had that side's
+  *full* closure explored without a meet, which proves the negative: if
+  ``t`` were reachable, the forward closure would contain ``t``, where the
+  reverse seed bit already waits.
+
+Propagation is **delta-based** (the classic frontier discipline, lifted to
+words): a vertex re-enters the frontier only with the lanes it *gained*
+last layer, since earlier lanes were already pushed when they arrived.
+Resolved lanes are masked out of every contribution through the per-word
+``pending`` mask, and a word whose pending mask empties is compacted out
+of the label matrices entirely — the per-wave early-out that keeps late
+layers (a few stubborn negatives) from paying full-batch width.
+
+Scatter merges use ``argsort`` + ``np.bitwise_or.reduceat`` rather than
+``np.bitwise_or.at``: the unbuffered ``ufunc.at`` loops per element, while
+sort+reduceat stays in vectorized code and yields the per-target merged
+word rows (and hence the ``new_bits`` delta) directly.
+
+Budgets are checkpointed at layer boundaries exactly like the scalar
+kernels: edge accesses are charged *before* the layer is examined, so a
+:class:`~repro.core.budget.BudgetExceeded` cannot be outrun by one huge
+layer.
+
+Like every other kernel, this module is inert without numpy: callers must
+check :data:`~repro.graph.kernels.HAVE_NUMPY` /
+:func:`~repro.graph.kernels.kernels_enabled` and fall back to the scalar
+path (the serving engine does this in ``query_batch``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.budget import Budget
+from repro.graph.kernels import HAVE_NUMPY, _gather, _maybe_fault, np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.snapshot import CSRSnapshot
+
+#: Lanes per label word.
+WORD_BITS = 64
+
+
+def words_for(lanes: int) -> int:
+    """How many uint64 words a batch of ``lanes`` queries occupies."""
+    return (lanes + WORD_BITS - 1) // WORD_BITS
+
+
+def _sweep_targets(csr: "CSRSnapshot"):
+    """(out_targets, in_targets) in the narrowest dtype the sweep can use.
+
+    The per-layer gather/sort/compare passes are memory-bound, so when
+    every vertex index fits a uint16 (the snapshot has <= 65535 vertices)
+    the sweeps read 2-byte target copies instead of the snapshot's int64
+    arrays — a 4x cut in edge-pass traffic. The copies are cached on the
+    snapshot itself: snapshots are immutable and shared across the many
+    waves of a batch, while this module may see a different snapshot
+    after every update epoch.
+    """
+    cached = getattr(csr, "_bit_targets_u16", None)
+    if cached is not None:
+        return cached
+    if csr.num_vertices > int(np.iinfo(np.uint16).max):
+        return csr.out_targets, csr.in_targets
+    cached = (
+        csr.out_targets.astype(np.uint16),
+        csr.in_targets.astype(np.uint16),
+    )
+    csr._bit_targets_u16 = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class BitSweepStats:
+    """What one bit-parallel sweep did (for counters and cost models)."""
+
+    #: Queries packed into the sweep.
+    lanes: int
+    #: uint64 words the label matrices were seeded with.
+    words: int
+    #: Frontier expansions executed (forward + reverse).
+    layers: int
+    #: CSR edge slots gathered across all layers.
+    edge_accesses: int
+    #: Times the label matrices shed exhausted words mid-sweep.
+    compactions: int
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of seeded word bits that carried a live query."""
+        return self.lanes / (self.words * WORD_BITS) if self.words else 0.0
+
+
+def _sweep_single_word(
+    csr: "CSRSnapshot",
+    pairs: Sequence[Tuple[int, int]],
+    budget: Optional[Budget],
+    lead: str,
+) -> Tuple[List[bool], BitSweepStats]:
+    """One-word specialization of :func:`csr_bit_bibfs` (<= 64 lanes).
+
+    Batches this narrow are numpy-dispatch-bound, not bandwidth-bound:
+    the label state fits a flat ``(n,)`` uint64 vector and the pending
+    mask a single scalar, so every per-layer matrix pass (axis keywords,
+    2-D row gathers, compaction bookkeeping) collapses to its cheapest
+    1-D form. The batch planner slices waves to 64 lanes mainly to stay
+    on this path.
+    """
+    lanes = len(pairs)
+    n = csr.num_vertices
+    src_idx = csr.indices_of([s for s, _ in pairs])
+    tgt_idx = csr.indices_of([t for _, t in pairs])
+
+    lane_bit = np.uint64(1) << np.arange(lanes, dtype=np.uint64)
+    full = np.uint64(np.iinfo(np.uint64).max)
+    one = np.uint64(1)
+
+    label_f = np.zeros(n, dtype=np.uint64)
+    label_r = np.zeros(n, dtype=np.uint64)
+    np.bitwise_or.at(label_f, src_idx, lane_bit)
+    np.bitwise_or.at(label_r, tgt_idx, lane_bit)
+
+    lanes_mask = full if lanes == WORD_BITS else (one << np.uint64(lanes)) - one
+    pending = lanes_mask
+    result = np.uint64(0)
+
+    seed_rows = np.unique(np.concatenate([src_idx, tgt_idx]))
+    met = np.bitwise_or.reduce(label_f[seed_rows] & label_r[seed_rows])
+    result |= met
+    pending &= ~met
+
+    front_f = np.unique(src_idx)
+    front_r = np.unique(tgt_idx)
+    delta_f = label_f[front_f]
+    delta_r = label_r[front_r]
+    adv_f = np.bitwise_or.reduce(delta_f)
+    adv_r = np.bitwise_or.reduce(delta_r)
+
+    out_off, in_off = csr.out_offsets, csr.in_offsets
+    # Narrow (uint16) target copies double as radix-sortable keys: numpy
+    # only radix-sorts <= 16-bit dtypes (wider stable sorts are ~10x
+    # slower comparison sorts), so gathering narrow also sorts fast.
+    out_tgt, in_tgt = _sweep_targets(csr)
+    prefer_forward = lead != "reverse"
+    layers = 0
+    accesses = 0
+    charged = 0
+
+    # Masking and frontier costing are lazy: a delta only needs re-masking
+    # when ``pending`` shrank since it was last masked (``masked_*`` holds
+    # that value — expansion deltas are born masked and row-compressed),
+    # and a side's adjacency volume only changes when its frontier does.
+    # Most layers resolve no lane, so both books stay closed. The seeds
+    # were built before the seed-met lanes left ``pending``, hence the
+    # full-lane initial mark.
+    masked_f = masked_r = lanes_mask
+    cost_f = int((out_off[front_f + 1] - out_off[front_f]).sum())
+    cost_r = int((in_off[front_r + 1] - in_off[front_r]).sum())
+
+    while pending:
+        if budget is not None:
+            budget.checkpoint(accesses - charged)
+            charged = accesses
+
+        if masked_f != pending:
+            delta_f &= pending
+            live = delta_f != 0
+            if not live.all():
+                front_f, delta_f = front_f[live], delta_f[live]
+                cost_f = int((out_off[front_f + 1] - out_off[front_f]).sum())
+            masked_f = pending
+        if masked_r != pending:
+            delta_r &= pending
+            live = delta_r != 0
+            if not live.all():
+                front_r, delta_r = front_r[live], delta_r[live]
+                cost_r = int((in_off[front_r + 1] - in_off[front_r]).sum())
+            masked_r = pending
+
+        pending &= adv_f & adv_r
+        if not pending:
+            break
+
+        forward = cost_f < cost_r or (cost_f == cost_r and prefer_forward)
+        if forward:
+            offsets, targets = out_off, out_tgt
+            frontier, delta, label, other = front_f, delta_f, label_f, label_r
+        else:
+            offsets, targets = in_off, in_tgt
+            frontier, delta, label, other = front_r, delta_r, label_r, label_f
+        layers += 1
+
+        counts = offsets[frontier + 1] - offsets[frontier]
+        recv = _gather(offsets, targets, frontier)
+        accesses += len(recv)
+        if len(recv) == 0:
+            next_rows = frontier[:0]
+            next_delta = delta[:0]
+            next_adv = np.uint64(0)
+        else:
+            edge_src = np.repeat(
+                np.arange(len(frontier), dtype=np.int32), counts
+            )
+            order = np.argsort(recv, kind="stable")
+            sorted_recv = recv[order]
+            sorted_contrib = np.take(delta, edge_src[order])
+            head = np.empty(len(sorted_recv), dtype=bool)
+            head[0] = True
+            np.not_equal(sorted_recv[1:], sorted_recv[:-1], out=head[1:])
+            bounds = np.flatnonzero(head)
+            rows = sorted_recv[bounds]
+            merged = np.bitwise_or.reduceat(sorted_contrib, bounds)
+            # Meet-test straight off the merge, before the label update:
+            # lanes already resolved re-meet here (labels are never
+            # masked), hence the ``& pending``. When every remaining lane
+            # meets — the common fate of a wave's last, largest layer —
+            # the whole update tail below is skipped.
+            met = np.bitwise_or.reduce(merged & np.take(other, rows)) & pending
+            if met:
+                result |= met
+                pending &= ~met
+                if not pending:
+                    break
+            seen = np.take(label, rows)
+            new_bits = merged & ~seen
+            gained = new_bits != 0
+            if not gained.all():
+                rows, new_bits = rows[gained], new_bits[gained]
+                seen = seen[gained]
+            if len(rows):
+                label[rows] = seen | new_bits
+                next_adv = np.bitwise_or.reduce(new_bits)
+            else:
+                next_adv = np.uint64(0)
+            next_rows = rows
+            next_delta = new_bits
+
+        # The fresh delta inherits the expanded side's masked-at value (its
+        # lanes are a subset of the old delta's), so only the cost changes.
+        if forward:
+            front_f, delta_f, adv_f = next_rows, next_delta, next_adv
+            cost_f = int((out_off[front_f + 1] - out_off[front_f]).sum())
+        else:
+            front_r, delta_r, adv_r = next_rows, next_delta, next_adv
+            cost_r = int((in_off[front_r + 1] - in_off[front_r]).sum())
+
+    if budget is not None:
+        budget.checkpoint(accesses - charged)
+
+    answers = (result & lane_bit) != 0
+    stats = BitSweepStats(lanes, 1, layers, accesses, 0)
+    return [bool(a) for a in answers], stats
+
+
+def csr_bit_bibfs(
+    csr: "CSRSnapshot",
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    budget: Optional[Budget] = None,
+    lead: str = "forward",
+) -> Tuple[List[bool], BitSweepStats]:
+    """Answer every ``(source, target)`` pair in one bit-parallel sweep.
+
+    Every endpoint must exist in the snapshot (the batch planner's
+    pre-filter guarantees this; it also drains ``s == t`` and
+    missing-endpoint pairs, though both are handled here for safety).
+    ``lead`` breaks the first-layer direction tie when both frontiers cost
+    the same — later layers always expand the cheaper side, measured by
+    the adjacency volume of the live frontier.
+
+    Returns ``(answers, stats)`` with ``answers[q]`` the verdict for
+    ``pairs[q]``. Raises :class:`~repro.core.budget.BudgetExceeded` at a
+    layer boundary when the budget expires — the caller keeps nothing from
+    the sweep (the serving engine then reroutes the wave to the scalar
+    path, whose degraded stage owns partial-answer semantics).
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("bit-parallel kernels require numpy")
+    _maybe_fault("csr_bit_bibfs")
+
+    lanes = len(pairs)
+    if lanes == 0:
+        return [], BitSweepStats(0, 0, 0, 0, 0)
+    if lanes <= WORD_BITS:
+        return _sweep_single_word(csr, pairs, budget, lead)
+
+    n = csr.num_vertices
+    words = words_for(lanes)
+    src_idx = csr.indices_of([s for s, _ in pairs])
+    tgt_idx = csr.indices_of([t for _, t in pairs])
+
+    lane = np.arange(lanes, dtype=np.uint64)
+    lane_word = (lane >> np.uint64(6)).astype(np.int64)
+    lane_bit = np.uint64(1) << (lane & np.uint64(63))
+
+    label_f = np.zeros((n, words), dtype=np.uint64)
+    label_r = np.zeros((n, words), dtype=np.uint64)
+    # Seeding is the one scatter small enough for the unbuffered ufunc.at
+    # (duplicate (row, word) cells OR correctly there).
+    np.bitwise_or.at(label_f, (src_idx, lane_word), lane_bit)
+    np.bitwise_or.at(label_r, (tgt_idx, lane_word), lane_bit)
+
+    pending = np.full(words, np.iinfo(np.uint64).max, dtype=np.uint64)
+    tail = lanes % WORD_BITS
+    if tail:
+        pending[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+
+    # Verdict bits, indexed by *original* word id (compaction-proof).
+    result = np.zeros(words, dtype=np.uint64)
+    cols = np.arange(words, dtype=np.int64)  # original word of each column
+
+    # Seed meets (covers s == t and directly coincident endpoints).
+    seed_rows = np.unique(np.concatenate([src_idx, tgt_idx]))
+    met = np.bitwise_or.reduce(label_f[seed_rows] & label_r[seed_rows], axis=0)
+    result |= met
+    pending &= ~met
+
+    # Delta frontiers: rows plus the lanes they gained when visited. At
+    # the seed every present bit is new. ``adv_*`` caches the column-OR of
+    # each side's delta — a pending lane absent from it has that side's
+    # closure fully explored (negative). The cache stays exact without a
+    # per-layer full pass: in-place ``delta &= pending`` masking commutes
+    # with the OR, and dropping all-zero rows cannot change it, so
+    # ``adv & pending`` is always the live aggregate.
+    front_f = np.unique(src_idx)
+    front_r = np.unique(tgt_idx)
+    delta_f = label_f[front_f]
+    delta_r = label_r[front_r]
+    adv_f = np.bitwise_or.reduce(delta_f, axis=0)
+    adv_r = np.bitwise_or.reduce(delta_r, axis=0)
+
+    out_off, in_off = csr.out_offsets, csr.in_offsets
+    # Narrow target copies (see _sweep_targets): less gather traffic, and
+    # receiver sorting — the per-layer scatter-merge workhorse — hits
+    # numpy's radix path, which only exists for <= 16-bit keys.
+    out_tgt, in_tgt = _sweep_targets(csr)
+    prefer_forward = lead != "reverse"
+    layers = 0
+    accesses = 0
+    charged = 0
+    compactions = 0
+
+    # Lazy masking/costing, as in the single-word path, tracked by an
+    # epoch counter bumped whenever ``pending`` changes (the mask value
+    # is an array here, so a counter beats keeping copies around). The
+    # seed deltas predate the seed-met mask, hence the forced first pass.
+    # Keeping both frontiers pruned whenever lanes *do* resolve keeps the
+    # direction cost estimate honest — stale rows systematically inflate
+    # one side and triple the edge volume.
+    epoch = 0
+    masked_f_epoch = masked_r_epoch = -1
+    cost_f = int((out_off[front_f + 1] - out_off[front_f]).sum())
+    cost_r = int((in_off[front_r + 1] - in_off[front_r]).sum())
+
+    while pending.any():
+        if budget is not None:
+            budget.checkpoint(accesses - charged)
+            charged = accesses
+
+        if masked_f_epoch != epoch:
+            delta_f &= pending
+            live = np.any(delta_f != 0, axis=1)
+            if not live.all():
+                front_f, delta_f = front_f[live], delta_f[live]
+                cost_f = int((out_off[front_f + 1] - out_off[front_f]).sum())
+            masked_f_epoch = epoch
+        if masked_r_epoch != epoch:
+            delta_r &= pending
+            live = np.any(delta_r != 0, axis=1)
+            if not live.all():
+                front_r, delta_r = front_r[live], delta_r[live]
+                cost_r = int((in_off[front_r + 1] - in_off[front_r]).sum())
+            masked_r_epoch = epoch
+
+        new_pending = pending & adv_f & adv_r
+        if not np.array_equal(new_pending, pending):
+            pending = new_pending
+            epoch += 1
+            if not pending.any():
+                break  # a side exhausted every remaining lane: negatives
+
+        forward = cost_f < cost_r or (cost_f == cost_r and prefer_forward)
+        if forward:
+            offsets, targets = out_off, out_tgt
+            frontier, delta, label, other = front_f, delta_f, label_f, label_r
+        else:
+            offsets, targets = in_off, in_tgt
+            frontier, delta, label, other = front_r, delta_r, label_r, label_f
+        layers += 1
+
+        counts = offsets[frontier + 1] - offsets[frontier]
+        recv = _gather(offsets, targets, frontier)
+        accesses += len(recv)
+        if len(recv) == 0:
+            next_rows = frontier[:0]
+            next_delta = delta[:0]
+            next_adv = np.zeros(len(cols), dtype=np.uint64)
+        else:
+            # Sort bare edge ids, not the word rows; the contribution
+            # matrix is then built by one fused gather instead of a
+            # full-width repeat plus a full-width permute.
+            edge_src = np.repeat(
+                np.arange(len(frontier), dtype=np.int32), counts
+            )
+            order = np.argsort(recv, kind="stable")
+            sorted_recv = recv[order]
+            sorted_contrib = np.take(delta, edge_src[order], axis=0)
+            head = np.empty(len(sorted_recv), dtype=bool)
+            head[0] = True
+            np.not_equal(sorted_recv[1:], sorted_recv[:-1], out=head[1:])
+            bounds = np.flatnonzero(head)
+            rows = sorted_recv[bounds]
+            merged = np.bitwise_or.reduceat(sorted_contrib, bounds, axis=0)
+            # Meet-test straight off the merge (see the single-word path):
+            # when every remaining lane meets, the update tail is skipped.
+            met = (
+                np.bitwise_or.reduce(
+                    merged & np.take(other, rows, axis=0), axis=0
+                )
+                & pending
+            )
+            if met.any():
+                result[cols] |= met
+                pending = pending & ~met
+                epoch += 1
+                if not pending.any():
+                    break
+            seen = np.take(label, rows, axis=0)
+            new_bits = merged & ~seen
+            gained = np.any(new_bits != 0, axis=1)
+            if not gained.all():
+                rows, new_bits = rows[gained], new_bits[gained]
+                seen = seen[gained]
+            if len(rows):
+                # One fancy assignment (gathered | delta) beats the
+                # read-modify-write of an indexed |=.
+                label[rows] = seen | new_bits
+                next_adv = np.bitwise_or.reduce(new_bits, axis=0)
+            else:
+                next_adv = np.zeros(len(cols), dtype=np.uint64)
+            next_rows = rows
+            next_delta = new_bits
+
+        # The fresh delta inherits the expanded side's masked epoch (its
+        # lanes are a subset of the old delta's), so only the cost changes.
+        if forward:
+            front_f, delta_f, adv_f = next_rows, next_delta, next_adv
+            cost_f = int((out_off[front_f + 1] - out_off[front_f]).sum())
+        else:
+            front_r, delta_r, adv_r = next_rows, next_delta, next_adv
+            cost_r = int((in_off[front_r + 1] - in_off[front_r]).sum())
+
+        # Early-out compaction: words with no pending lanes left stop
+        # paying memory bandwidth for the rest of the sweep.
+        live_words = np.flatnonzero(pending)
+        if len(live_words) < len(cols):
+            compactions += 1
+            cols = cols[live_words]
+            pending = pending[live_words]
+            adv_f = adv_f[live_words]
+            adv_r = adv_r[live_words]
+            label_f = np.ascontiguousarray(label_f[:, live_words])
+            label_r = np.ascontiguousarray(label_r[:, live_words])
+            delta_f = np.ascontiguousarray(delta_f[:, live_words])
+            delta_r = np.ascontiguousarray(delta_r[:, live_words])
+
+    if budget is not None:
+        budget.checkpoint(accesses - charged)
+
+    answers = (result[lane_word] & lane_bit) != 0
+    stats = BitSweepStats(lanes, words, layers, accesses, compactions)
+    return [bool(a) for a in answers], stats

@@ -10,6 +10,7 @@ load shedding, and an optional write-ahead update journal. See
 ``docs/service.md``.
 """
 
+from repro.service.batcher import BatchCostModel, BatchPlan, Wave, plan_batch
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock, ServiceTimeout
 from repro.service.driver import ReplayResult, replay_workload
@@ -28,6 +29,8 @@ from repro.service.faults import (
 from repro.service.stats import ServiceStats, format_stats_table
 
 __all__ = [
+    "BatchCostModel",
+    "BatchPlan",
     "CircuitBreaker",
     "FastPathPruner",
     "FaultInjector",
@@ -44,7 +47,9 @@ __all__ = [
     "StagePolicy",
     "UpdateEffect",
     "VersionedQueryCache",
+    "Wave",
     "format_stats_table",
+    "plan_batch",
     "plan_by_name",
     "replay_workload",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 Key = Tuple[int, int]
 
@@ -117,6 +117,31 @@ class VersionedQueryCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+
+    def put_many(
+        self,
+        items: Iterable[Tuple[Key, bool]],
+        version: int,
+        confident: bool = True,
+    ) -> None:
+        """Store a batch of answers under one lock acquisition.
+
+        Same validity/confidence gates as :meth:`put`; a bit-parallel
+        wave lands tens of answers at once and per-entry locking would
+        cost more than the entries are worth.
+        """
+        with self._lock:
+            if not confident:
+                self.unconfident_rejections += 1
+                return
+            entries = self._entries
+            for key, answer in items:
+                if not self._valid(answer, version):
+                    continue
+                entries[key] = (answer, version)
+                entries.move_to_end(key)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
 
     # -- introspection (tests, stats) ----------------------------------
     @property

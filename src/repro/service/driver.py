@@ -77,13 +77,30 @@ def replay_workload(
     flight_window: int = 32,
     deadline_s: Optional[float] = None,
     collect_outcomes: bool = True,
+    batch_size: Optional[int] = None,
+    batch_strategy: str = "auto",
 ) -> ReplayResult:
     """Drive the stream through the service; returns timing + stats.
 
     ``flight_window`` bounds how many queries may be in flight at once;
     an update op acts as a barrier (it must serialize anyway, since it
     takes the write lock).
+
+    With ``batch_size`` set, consecutive query ops are coalesced into
+    :meth:`~repro.service.engine.ReachabilityService.query_batch` calls
+    of up to that many pairs (flushed by an update op or stream end),
+    executed with ``batch_strategy`` — the replay shape of a client-side
+    request coalescer in front of the service.
     """
+    if batch_size is not None:
+        return _replay_batched(
+            service,
+            ops,
+            batch_size=batch_size,
+            batch_strategy=batch_strategy,
+            deadline_s=deadline_s,
+            collect_outcomes=collect_outcomes,
+        )
     in_flight: List[Tuple[int, "object"]] = []
     outcomes: List[Optional[QueryOutcome]] = (
         [None] * sum(1 for op in ops if op.is_query) if collect_outcomes else []
@@ -127,6 +144,78 @@ def replay_workload(
                 failed_updates += 1
             num_updates += 1
     shed += drain()
+    wall = time.perf_counter() - start
+
+    return ReplayResult(
+        num_queries=num_queries,
+        num_updates=num_updates,
+        wall_seconds=wall,
+        outcomes=[o for o in outcomes if o is not None],
+        stats=service.stats(),
+        failed_updates=failed_updates,
+        shed_queries=shed,
+    )
+
+
+def _replay_batched(
+    service: ReachabilityService,
+    ops: Sequence[Op],
+    *,
+    batch_size: int,
+    batch_strategy: str,
+    deadline_s: Optional[float],
+    collect_outcomes: bool,
+) -> ReplayResult:
+    """Batched replay: coalesce query runs into ``query_batch`` calls."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    outcomes: List[Optional[QueryOutcome]] = (
+        [None] * sum(1 for op in ops if op.is_query) if collect_outcomes else []
+    )
+    num_queries = 0
+    num_updates = 0
+    failed_updates = 0
+    shed = 0
+    pending: List[Tuple[int, int]] = []
+    slots: List[int] = []
+
+    def flush() -> int:
+        local_shed = 0
+        if not pending:
+            return 0
+        batch = service.query_batch(
+            list(pending), deadline_s, strategy=batch_strategy
+        )
+        for slot, outcome in zip(slots, batch):
+            if outcome.via in ("shed", "shed-dedup"):
+                local_shed += 1
+            if collect_outcomes:
+                outcomes[slot] = outcome
+        pending.clear()
+        slots.clear()
+        return local_shed
+
+    start = time.perf_counter()
+    query_index = 0
+    for op in ops:
+        if op.is_query:
+            pending.append((op.u, op.v))
+            slots.append(query_index)
+            query_index += 1
+            num_queries += 1
+            if len(pending) >= batch_size:
+                shed += flush()
+        else:
+            shed += flush()
+            try:
+                if op.kind == INSERT:
+                    service.add_edge(op.u, op.v)
+                elif op.kind == DELETE:
+                    service.remove_edge(op.u, op.v)
+            except Exception:
+                failed_updates += 1
+            num_updates += 1
+    shed += flush()
     wall = time.perf_counter() - start
 
     return ReplayResult(

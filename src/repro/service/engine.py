@@ -56,7 +56,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -67,8 +67,10 @@ from repro.core.budget import Budget, BudgetExceeded, CancelToken, PartialSearch
 from repro.core.ifca import IFCAMethod
 from repro.core.params import IFCAParams
 from repro.graph import kernels
+from repro.graph.bitsearch import csr_bit_bibfs
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.journal import UpdateJournal
+from repro.service.batcher import BatchCostModel, plan_batch
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock
 from repro.service.fastpath import FastPathPruner, UpdateEffect
@@ -88,8 +90,11 @@ class QueryOutcome:
     #: guess of a blown budget, a shed query, or a total pipeline failure.
     confident: bool
     #: Which stage produced the answer:
-    #: ``"fastpath" | "cache" | "engine" | "engine-fallback" | "degraded"
-    #: | "shed" | "error"``.
+    #: ``"fastpath" | "cache" | "engine" | "engine-fallback" | "bitbatch"
+    #: | "degraded" | "shed" | "shed-dedup" | "error"``. ``"bitbatch"``
+    #: marks answers from a bit-parallel batch sweep; ``"shed-dedup"``
+    #: marks a shed verdict fanned out to deduplicated batch duplicates
+    #: after their one retry was shed as well.
     via: str
     #: Graph version of the snapshot the answer is exact for.
     version: int
@@ -156,6 +161,13 @@ class ReachabilityService:
         ``update``: ``timeout_s`` bounds write-lock acquisition.
     breaker_failures, breaker_probe_s:
         Circuit-breaker trip threshold and half-open probe interval.
+    batch_wave_lanes:
+        Maximum queries packed into one bit-parallel kernel wave by
+        :meth:`query_batch`. The default of 64 keeps every wave on the
+        kernel's single-word fast path (one uint64 label word).
+    batch_cost_model:
+        The :class:`~repro.service.batcher.BatchCostModel` behind the
+        ``strategy="auto"`` scalar/bit-parallel cutover.
     fallback_factory:
         Builds the engine-stage fallback method (default: a dict-substrate
         ``IFCAMethod`` with all kernels off — deliberately not sharing the
@@ -187,6 +199,8 @@ class ReachabilityService:
         stage_policies: Optional[Dict[str, StagePolicy]] = None,
         breaker_failures: int = 3,
         breaker_probe_s: float = 0.25,
+        batch_wave_lanes: int = 64,
+        batch_cost_model: Optional[BatchCostModel] = None,
         fallback_factory: Optional[
             Callable[[DynamicDiGraph], ReachabilityMethod]
         ] = None,
@@ -238,6 +252,10 @@ class ReachabilityService:
 
         self._policies = dict(stage_policies) if stage_policies else {}
         self._breaker = CircuitBreaker(breaker_failures, breaker_probe_s)
+        self._batch_wave_lanes = max(1, batch_wave_lanes)
+        self._batch_cost = (
+            batch_cost_model if batch_cost_model is not None else BatchCostModel()
+        )
         self._cancel = CancelToken()
         self.max_pending = max(0, max_pending)
         self._pending = 0
@@ -496,18 +514,258 @@ class ReachabilityService:
         self,
         queries: Sequence[Tuple[int, int]],
         deadline_s: Optional[float] = None,
+        strategy: str = "auto",
     ) -> List[QueryOutcome]:
-        """Serve a batch through the pool, deduplicating repeated pairs.
+        """Serve a batch of pairs, deduplicating repeated pairs.
+
+        ``strategy`` picks the execution path for the deduplicated batch:
+
+        * ``"scalar"`` — each distinct pair runs through the per-query
+          pipeline on the worker pool (the pre-existing behavior);
+        * ``"bitparallel"`` — the batch is pre-filtered (fast path +
+          cache) under one read lock, and survivors run as bit-parallel
+          BiBFS waves — 64 queries per uint64 word — over the version's
+          CSR snapshot (:mod:`repro.graph.bitsearch`). Kernel failures
+          feed the circuit breaker and reroute to the scalar path; with
+          kernels unavailable the whole batch runs scalar (counted as
+          ``batch_scalar_fallback``);
+        * ``"auto"`` — :class:`~repro.service.batcher.BatchCostModel`
+          compares one sweep's predicted cost against the batch's
+          expected scalar cost (from live engine-stage latency) and picks
+          per batch.
+        """
+        self._check_open()
+        if strategy not in ("auto", "scalar", "bitparallel"):
+            raise ValueError(f"unknown batch strategy: {strategy!r}")
+        pairs = [(s, t) for s, t in queries]
+        if strategy != "scalar":
+            if (
+                self.use_kernels
+                and kernels.kernels_enabled()
+                and self._breaker.state == "closed"
+            ):
+                return self._query_batch_bitparallel(pairs, deadline_s, strategy)
+            self._stats.incr("batch_scalar_fallback")
+        return self._query_batch_scalar(pairs, deadline_s)
+
+    def _query_batch_scalar(
+        self,
+        queries: List[Tuple[int, int]],
+        deadline_s: Optional[float],
+    ) -> List[QueryOutcome]:
+        """The per-query path: one pool submission per distinct pair.
 
         Skewed traffic repeats pairs heavily; each distinct pair is
-        scheduled once and its outcome fanned back out in order.
+        scheduled once and its outcome fanned back out in order. A shed
+        verdict, however, answered exactly *one* admission slot — fanning
+        it out would shed duplicates that never loaded the service — so a
+        deduplicated pair that was shed retries once on behalf of its
+        duplicates; a retry shed again fans out as ``via="shed-dedup"``.
         """
         distinct: Dict[Tuple[int, int], "Future[QueryOutcome]"] = {}
-        for s, t in queries:
-            if (s, t) not in distinct:
-                distinct[(s, t)] = self.submit(s, t, deadline_s)
+        duplicated = set()
+        for pair in queries:
+            if pair in distinct:
+                duplicated.add(pair)
+            else:
+                distinct[pair] = self.submit(pair[0], pair[1], deadline_s)
         self._stats.incr("batched_dedup", len(queries) - len(distinct))
-        return [distinct[(s, t)].result() for s, t in queries]
+        outcomes: Dict[Tuple[int, int], QueryOutcome] = {}
+        for pair, future in distinct.items():
+            outcome = future.result()
+            if outcome.via == "shed" and pair in duplicated:
+                self._stats.incr("shed_dedup_retries")
+                outcome = self.submit(pair[0], pair[1], deadline_s).result()
+                if outcome.via == "shed":
+                    outcome = replace(outcome, via="shed-dedup")
+            outcomes[pair] = outcome
+        return [outcomes[pair] for pair in queries]
+
+    def _query_batch_bitparallel(
+        self,
+        queries: List[Tuple[int, int]],
+        deadline_s: Optional[float],
+        strategy: str,
+    ) -> List[QueryOutcome]:
+        """Pre-filter the batch, then sweep survivors in kernel waves.
+
+        Runs under one read lock: plan (dedup + fast path + cache), then
+        one :func:`~repro.graph.bitsearch.csr_bit_bibfs` call per wave on
+        the version's CSR snapshot. Pairs the kernel cannot answer — the
+        auto cutover chose scalar, the snapshot would not freeze, a wave
+        failed (breaker-counted), or the budget expired mid-batch — are
+        rerouted through the per-query pipeline *after* the lock is
+        released (the read lock is not reentrant and writers queue behind
+        it, so blocking on pool futures while holding it could deadlock).
+        """
+        deadline_s = self.deadline_s if deadline_s is None else deadline_s
+        deadline = (
+            time.perf_counter() + deadline_s if deadline_s is not None else None
+        )
+        outcomes: Dict[Tuple[int, int], QueryOutcome] = {}
+        scalar_pairs: List[Tuple[int, int]] = []
+        # Stage observability and fault points are batched: per-pair
+        # timers and injector fires would cost as much as the pre-filter
+        # itself at batch widths, so each stage fires once per batch and
+        # the whole planning pass records one aggregate latency sample
+        # (under "fastpath", which dominates it; both stages are
+        # observability-only — no policy consumes their means).
+
+        def prefilter_check(source: int, target: int):
+            try:
+                self._pruner.observe_query()
+                return self._pruner.check(source, target)
+            except Exception:
+                self._stats.incr("stage_errors_fastpath")
+                return None
+
+        def prefilter_cache_get(source: int, target: int):
+            try:
+                return self._cache.get(source, target)
+            except Exception:
+                self._stats.incr("stage_errors_cache")
+                return None
+
+        with self._lock.read:
+            version = self.graph.version
+            for stage in ("fastpath", "cache"):
+                try:
+                    self._fire(stage)
+                except Exception:
+                    self._stats.incr(f"stage_errors_{stage}")
+            plan_start = time.perf_counter()
+            plan = plan_batch(
+                queries,
+                graph=self.graph,
+                check=prefilter_check,
+                cache_get=prefilter_cache_get,
+                max_wave_lanes=self._batch_wave_lanes,
+            )
+            self._stats.observe_latency(
+                "fastpath", time.perf_counter() - plan_start
+            )
+            self._stats.incr("batched_dedup", plan.dedup_saved)
+            if plan.prefilter_hits:
+                self._stats.incr("batch_prefilter_hits", plan.prefilter_hits)
+            for pair, (answer, via, detail) in plan.resolved.items():
+                if via == "fastpath":
+                    self._stats.fastpath_hit(detail)
+                else:
+                    self._stats.incr("cache_hits")
+                outcomes[pair] = QueryOutcome(
+                    pair[0], pair[1], answer, True, via, version, detail
+                )
+            self._stats.incr("queries", len(plan.resolved))
+            if plan.pending:
+                self._stats.incr("cache_misses", len(plan.pending))
+                use_bits = True
+                if strategy == "auto":
+                    use_bits = self._batch_cost.prefer_bitparallel(
+                        len(plan.pending),
+                        self.graph.num_vertices,
+                        self.graph.num_edges,
+                        self._stats.stage_mean_seconds("engine"),
+                    )
+                    self._stats.incr(
+                        "batch_auto_bitparallel"
+                        if use_bits
+                        else "batch_auto_scalar"
+                    )
+                csr = self._batch_csr() if use_bits else None
+                if use_bits and csr is None:
+                    use_bits = False
+                    self._stats.incr("batch_scalar_fallback")
+                if not use_bits:
+                    scalar_pairs.extend(plan.pending)
+                else:
+                    budget = self._make_budget(deadline, self._policy("engine"))
+                    exhausted = False
+                    for wave in plan.waves:
+                        if exhausted or self._breaker.state != "closed":
+                            scalar_pairs.extend(wave.pairs)
+                            continue
+                        start = time.perf_counter()
+                        try:
+                            self._fire("engine")
+                            answers, sweep = csr_bit_bibfs(
+                                csr, wave.pairs, budget=budget, lead=wave.lead
+                            )
+                        except BudgetExceeded:
+                            # Out of time/edges: the remaining pairs take
+                            # the scalar path, whose degraded stage owns
+                            # partial-answer semantics.
+                            exhausted = True
+                            scalar_pairs.extend(wave.pairs)
+                            continue
+                        except Exception:
+                            self._stats.incr("engine_failures")
+                            self._stats.incr("batch_wave_failures")
+                            self._breaker.record_failure()
+                            scalar_pairs.extend(wave.pairs)
+                            continue
+                        self._stats.observe_latency(
+                            "batch", time.perf_counter() - start
+                        )
+                        self._breaker.record_success()
+                        self._stats.incr("bit_waves")
+                        self._stats.incr("bit_words", sweep.words)
+                        self._stats.incr("bit_lanes", sweep.lanes)
+                        self._stats.incr("bit_layers", sweep.layers)
+                        self._stats.incr("bit_resolved", len(wave.pairs))
+                        self._stats.incr("queries", len(wave.pairs))
+                        detail = f"lanes={sweep.lanes} layers={sweep.layers}"
+                        self._cache.put_many(
+                            zip(wave.pairs, answers), version, confident=True
+                        )
+                        for pair, answer in zip(wave.pairs, answers):
+                            outcomes[pair] = QueryOutcome(
+                                pair[0],
+                                pair[1],
+                                answer,
+                                True,
+                                "bitbatch",
+                                version,
+                                detail,
+                            )
+        if scalar_pairs:
+            self._stats.incr("batch_scalar_queries", len(scalar_pairs))
+            pool = self._executor()
+            futures = [
+                (pair, pool.submit(self._serve, pair[0], pair[1], deadline))
+                for pair in scalar_pairs
+            ]
+            for pair, future in futures:
+                outcomes[pair] = future.result()
+        return [outcomes[pair] for pair in queries]
+
+    def _batch_csr(self):
+        """The current version's CSR snapshot, frozen on demand.
+
+        A batch amortizes its own freeze, so unlike :meth:`_ensure_csr`
+        this bypasses the per-query demand threshold. Returns ``None``
+        (scalar fallback) when kernels are off or the freeze fails.
+        """
+        if not self.use_kernels:
+            return None
+        try:
+            csr = self.graph.csr(build=False)
+            if csr is not None:
+                return csr
+            with self._csr_lock:
+                csr = self.graph.csr(build=False)
+                if csr is not None:
+                    return csr
+                start = time.perf_counter()
+                self._fire("freeze")
+                csr = self.graph.csr(build=True)
+                self._stats.observe_latency(
+                    "freeze", time.perf_counter() - start
+                )
+                self._stats.incr("csr_freezes")
+                return csr
+        except Exception:
+            self._stats.incr("stage_errors_freeze")
+            return None
 
     # ------------------------------------------------------------------
     # The staged pipeline (runs under the read lock)

@@ -19,8 +19,19 @@ from typing import Dict, List, Optional, Tuple
 
 #: Pipeline stages tracked by the latency histograms. ``freeze`` is the
 #: per-epoch CSR snapshot build the kernel path amortizes over queries;
-#: ``journal`` is the write-ahead append (fsync batches show as spikes).
-STAGES = ("fastpath", "cache", "engine", "degraded", "update", "freeze", "journal")
+#: ``journal`` is the write-ahead append (fsync batches show as spikes);
+#: ``batch`` is one bit-parallel kernel wave (up to 64 queries per word),
+#: so its per-sample latency covers a whole wave, not one query.
+STAGES = (
+    "fastpath",
+    "cache",
+    "engine",
+    "degraded",
+    "update",
+    "freeze",
+    "journal",
+    "batch",
+)
 
 _BUCKETS = 40  # 2**40 us ~ 12.7 days; effectively unbounded
 
@@ -131,12 +142,30 @@ class ServiceStats:
         fastpath = counters.get("fastpath_hits", 0)
         cache_hits = counters.get("cache_hits", 0)
         engine = counters.get("engine_calls", 0)
+        bit_resolved = counters.get("bit_resolved", 0)
+        bit_words = counters.get("bit_words", 0)
         derived = {
             "fastpath_rate": fastpath / queries if queries else 0.0,
             "cache_hit_rate": cache_hits / queries if queries else 0.0,
+            # Queries answered without *any* search: bit-batch answers do
+            # search (one shared sweep), so they are excluded alongside
+            # scalar engine calls and degraded runs.
             "no_search_rate": (
-                (queries - engine - counters.get("degraded", 0)) / queries
+                (
+                    queries
+                    - engine
+                    - counters.get("degraded", 0)
+                    - bit_resolved
+                )
+                / queries
                 if queries
+                else 0.0
+            ),
+            # Fraction of seeded word bits that carried a live query
+            # across all bit-parallel waves (1.0 = perfectly packed).
+            "word_occupancy": (
+                counters.get("bit_lanes", 0) / (64 * bit_words)
+                if bit_words
                 else 0.0
             ),
         }

@@ -74,6 +74,7 @@ def generate_mixed_workload(
     delete_fraction: float = 0.3,
     skew: float = 1.0,
     pair_pool: Optional[int] = None,
+    batch_size: Optional[int] = None,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
 ) -> List[Op]:
@@ -95,6 +96,12 @@ def generate_mixed_workload(
         each query picks a pool entry rank-zipfian. Session-like traffic
         re-asks identical questions — this is what makes result caching
         measurable. ``None`` keeps endpoints independent per query.
+    batch_size:
+        When set, queries arrive in *bursts* of up to this many
+        consecutive query ops (capped by ``num_ops``), the arrival shape
+        of clients that coalesce requests — what the serving driver's
+        batched replay groups into ``query_batch`` calls. The marginal
+        query:update mix is unchanged; only the interleaving is burstier.
     """
     if not 0.0 <= query_ratio <= 1.0:
         raise ValueError("query_ratio must be in [0, 1]")
@@ -102,6 +109,8 @@ def generate_mixed_workload(
         raise ValueError("delete_fraction must be in [0, 1]")
     if pair_pool is not None and pair_pool <= 0:
         raise ValueError("pair_pool must be positive")
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError("batch_size must be positive")
     if rng is None:
         rng = random.Random(seed)
 
@@ -128,18 +137,36 @@ def generate_mixed_workload(
                 pairs.append(pair)
         pool_sampler = _ZipfSampler(list(range(len(pairs))), skew)
 
+    def draw_query() -> Optional[Op]:
+        if pool_sampler is not None:
+            s, t = pairs[pool_sampler.sample(rng)]
+            return Op(QUERY, s, t)
+        pair = draw_pair()
+        return Op(QUERY, *pair) if pair is not None else None
+
+    # A burst of b queries must be drawn less often than single queries
+    # for the marginal query fraction to stay at ``query_ratio``:
+    # p*b / (p*b + (1-p)) = q  =>  p = q / (q + b*(1-q)).
+    burst_ratio = query_ratio
+    if batch_size is not None and 0.0 < query_ratio < 1.0:
+        burst_ratio = query_ratio / (
+            query_ratio + batch_size * (1.0 - query_ratio)
+        )
+
     ops: List[Op] = []
     while len(ops) < num_ops:
         roll = rng.random()
-        if roll < query_ratio or shadow.num_vertices < 2:
-            if pool_sampler is not None:
-                s, t = pairs[pool_sampler.sample(rng)]
-            else:
-                pair = draw_pair()
-                if pair is None:
+        if roll < burst_ratio or shadow.num_vertices < 2:
+            burst = 1 if batch_size is None else min(batch_size, num_ops - len(ops))
+            emitted = 0
+            for _ in range(20 * burst):  # retries around s == t draws
+                op = draw_query()
+                if op is None:
                     continue
-                s, t = pair
-            ops.append(Op(QUERY, s, t))
+                ops.append(op)
+                emitted += 1
+                if emitted == burst:
+                    break
         elif rng.random() < delete_fraction and edge_list:
             index = rng.randrange(len(edge_list))
             u, v = edge_list[index]

@@ -145,6 +145,37 @@ class TestReachableSetKernels:
         for v in starts:
             assert sets[v] == bfs_reachable(g, v)
 
+    def test_multi_source_empty_start_list(self):
+        g = two_block_sbm(20, 3.0, seed=1)
+        assert kernels.csr_multi_reachable_sets(g.csr(), []) == {}
+
+    def test_multi_source_sink_closure_is_itself(self):
+        g = DynamicDiGraph(edges=[(0, 1), (1, 2)])
+        snapshot = g.csr()
+        sets = kernels.csr_multi_reachable_sets(snapshot, [2], forward=True)
+        assert sets == {2: {2}}
+        back = kernels.csr_multi_reachable_sets(snapshot, [0], forward=False)
+        assert back == {0: {0}}
+
+    def test_multi_source_duplicate_starts_collapse(self):
+        g = two_block_sbm(30, 4.0, seed=7)
+        snapshot = g.csr()
+        sets = kernels.csr_multi_reachable_sets(
+            snapshot, [3, 3, 11, 3], forward=True
+        )
+        assert set(sets) == {3, 11}
+        assert sets[3] == bfs_reachable(g, 3)
+
+    @pytest.mark.parametrize("forward", [True, False])
+    def test_multi_source_equals_per_source(self, forward):
+        g = preferential_attachment_graph(120, 3, seed=5)
+        snapshot = g.csr()
+        rng = random.Random(6)
+        starts = rng.sample(sorted(g.vertices()), 8)
+        sets = kernels.csr_multi_reachable_sets(snapshot, starts, forward)
+        for v in starts:
+            assert sets[v] == kernels.csr_reachable_set(snapshot, v, forward)
+
 
 class TestSweepEquivalence:
     def test_kernel_sweep_matches_dict_sweep(self):

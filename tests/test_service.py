@@ -201,6 +201,36 @@ class TestVersionedQueryCache:
         assert cache.get(0, 1) is None
         assert cache.get(1, 2) is None
 
+    def test_put_many_stores_batch(self):
+        cache = VersionedQueryCache(8)
+        cache.put_many([((0, 1), True), ((1, 2), False)], version=3)
+        assert cache.get(0, 1) is True
+        assert cache.get(1, 2) is False
+
+    def test_put_many_respects_capacity(self):
+        cache = VersionedQueryCache(2)
+        cache.put_many(
+            [((0, 1), True), ((0, 2), True), ((0, 3), True)], version=1
+        )
+        assert cache.peek(0, 1) is None  # oldest of the batch evicted
+        assert cache.peek(0, 2) is not None
+        assert cache.peek(0, 3) is not None
+
+    def test_put_many_unconfident_rejected(self):
+        cache = VersionedQueryCache(8)
+        cache.put_many([((0, 1), True)], version=1, confident=False)
+        assert cache.peek(0, 1) is None
+        assert cache.unconfident_rejections == 1
+
+    def test_put_many_skips_already_stale_entries(self):
+        cache = VersionedQueryCache(8)
+        cache.note_update(9, adds_reachability=True, removes_reachability=False)
+        # A negative stamped before the insertion barrier raced with the
+        # update and must be refused; the fresh entry lands.
+        cache.put_many([((0, 1), False), ((1, 2), True)], version=5)
+        assert cache.peek(0, 1) is None
+        assert cache.get(1, 2) is True
+
 
 # ----------------------------------------------------------------------
 # Degraded bounded search
@@ -284,9 +314,65 @@ class TestReachabilityService:
         with ReachabilityService(diamond_graph, num_workers=2) as svc:
             future = svc.submit(0, 3)
             assert future.result().answer is True
-            outcomes = svc.query_batch([(0, 3), (0, 3), (1, 2), (0, 3)])
+            outcomes = svc.query_batch(
+                [(0, 3), (0, 3), (1, 2), (0, 3)], strategy="scalar"
+            )
             assert [o.answer for o in outcomes] == [True, True, False, True]
             assert svc.stats()["counters"]["batched_dedup"] == 2
+
+    @staticmethod
+    def _shedding_submit(svc, shed_first_n):
+        """Wrap ``svc.submit`` so the first ``shed_first_n`` calls shed."""
+        from concurrent.futures import Future
+
+        from repro.service import QueryOutcome
+
+        real = svc.submit
+        calls = []
+
+        def fake_submit(s, t, deadline_s=None):
+            calls.append((s, t))
+            if len(calls) <= shed_first_n:
+                future = Future()
+                future.set_result(
+                    QueryOutcome(
+                        s, t, False, False, "shed", 0, "retry-after-ms=1"
+                    )
+                )
+                return future
+            return real(s, t, deadline_s)
+
+        svc.submit = fake_submit
+        return calls
+
+    def test_shed_duplicates_retry_through_scalar_path(self, diamond_graph):
+        """A shed verdict answered one admission slot; duplicates of that
+        pair get one real retry instead of inheriting the shed."""
+        with ReachabilityService(diamond_graph, num_workers=2) as svc:
+            calls = self._shedding_submit(svc, shed_first_n=1)
+            outcomes = svc.query_batch([(0, 3), (0, 3)], strategy="scalar")
+            assert calls == [(0, 3), (0, 3)]  # one submit + one retry
+            assert all(o.via != "shed" for o in outcomes)
+            assert all(o.answer is True and o.confident for o in outcomes)
+            assert svc.stats()["counters"]["shed_dedup_retries"] == 1
+
+    def test_shed_retry_also_shed_is_marked(self, diamond_graph):
+        with ReachabilityService(diamond_graph, num_workers=2) as svc:
+            self._shedding_submit(svc, shed_first_n=2)
+            outcomes = svc.query_batch(
+                [(0, 3), (0, 3), (0, 3)], strategy="scalar"
+            )
+            assert [o.via for o in outcomes] == ["shed-dedup"] * 3
+            assert all(not o.confident for o in outcomes)
+            assert svc.stats()["counters"]["shed_dedup_retries"] == 1
+
+    def test_shed_without_duplicates_not_retried(self, diamond_graph):
+        with ReachabilityService(diamond_graph, num_workers=2) as svc:
+            calls = self._shedding_submit(svc, shed_first_n=1)
+            outcomes = svc.query_batch([(0, 3), (1, 2)], strategy="scalar")
+            assert calls == [(0, 3), (1, 2)]  # no retry submits
+            assert outcomes[0].via == "shed"
+            assert svc.stats()["counters"].get("shed_dedup_retries", 0) == 0
 
     def test_outcome_version_identifies_snapshot(self, line_graph):
         with ReachabilityService(line_graph, num_supportive=0) as svc:
