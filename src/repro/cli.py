@@ -8,6 +8,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro generate sbm --block-size 100 --degree 5 OUT.txt
     python -m repro compare EN [--max-updates 250]
     python -m repro serve-bench GRAPH.txt [--ops 2000 --journal WAL.jsonl]
+    python -m repro serve GRAPH.txt [--port 7420 --journal WAL.jsonl]
+    python -m repro replica HOST:PORT REPLICA.wal [--port 7421]
     python -m repro chaos GRAPH.txt --plan kernel-crash
     python -m repro reproduce [--quick] [--out results]
     python -m repro report [--markdown]
@@ -254,6 +256,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution path for batched replay (see query-batch)",
     )
     sb.set_defaults(func=cmd_serve_bench)
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve a graph over the wire protocol (asyncio server)",
+    )
+    sv.add_argument("graph", help="edge-list file with the initial snapshot")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=7420, help="bind port (0 = ephemeral)"
+    )
+    sv.add_argument("--workers", type=int, default=4)
+    sv.add_argument("--supportive", type=int, default=4)
+    sv.add_argument(
+        "--journal",
+        default=None,
+        help="write-ahead journal (JSONL); required for replicas to "
+        "subscribe",
+    )
+    sv.add_argument(
+        "--max-pending",
+        type=int,
+        default=0,
+        help="shed wire queries once this many are queued or executing "
+        "(0 = unbounded); shed responses carry retry_after_ms",
+    )
+    sv.add_argument(
+        "--coalesce",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="gather concurrent wire queries into query_batch waves "
+        "(--no-coalesce serves each query with its own worker call)",
+    )
+    sv.add_argument("--max-wave", type=int, default=256)
+    sv.add_argument(
+        "--batch-strategy",
+        choices=["auto", "scalar", "bitparallel"],
+        default="auto",
+    )
+    sv.add_argument(
+        "--kernels", action=argparse.BooleanOptionalAction, default=True
+    )
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit after this long (scripted smoke runs); default runs "
+        "until interrupted",
+    )
+    sv.set_defaults(func=cmd_serve)
+
+    rp = sub.add_parser(
+        "replica",
+        help="follow a primary's journal stream and serve reads at the "
+        "replication watermark",
+    )
+    rp.add_argument(
+        "primary", help="primary address as HOST:PORT (e.g. 127.0.0.1:7420)"
+    )
+    rp.add_argument(
+        "journal", help="the replica's local write-ahead journal (JSONL)"
+    )
+    rp.add_argument("--host", default="127.0.0.1")
+    rp.add_argument(
+        "--port",
+        type=int,
+        default=7421,
+        help="serve read-only queries here (0 = ephemeral)",
+    )
+    rp.add_argument("--workers", type=int, default=4)
+    rp.add_argument("--supportive", type=int, default=4)
+    rp.add_argument(
+        "--kernels", action=argparse.BooleanOptionalAction, default=True
+    )
+    rp.add_argument("--seed", type=int, default=0)
+    rp.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit after this long (scripted smoke runs)",
+    )
+    rp.set_defaults(func=cmd_replica)
 
     ch = sub.add_parser(
         "chaos",
@@ -531,6 +615,118 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"({journal.sync_count} fsyncs) -> {args.journal}"
             )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.server import ReachabilityServer
+    from repro.service import ReachabilityService
+
+    graph = read_edge_list(args.graph)
+
+    async def run() -> int:
+        with ReachabilityService(
+            graph,
+            num_workers=args.workers,
+            num_supportive=args.supportive,
+            seed=args.seed,
+            use_kernels=args.kernels,
+            journal=args.journal,
+            max_pending=args.max_pending,
+        ) as service:
+            server = ReachabilityServer(
+                service,
+                args.host,
+                args.port,
+                coalesce=args.coalesce,
+                max_wave=args.max_wave,
+                batch_strategy=args.batch_strategy,
+            )
+            await server.start()
+            print(
+                f"serving n={graph.num_vertices} m={graph.num_edges} on "
+                f"{server.host}:{server.port} "
+                f"(coalesce={'on' if args.coalesce else 'off'}, "
+                f"journal={args.journal or 'none'})",
+                flush=True,
+            )
+            try:
+                if args.max_seconds is not None:
+                    await asyncio.sleep(args.max_seconds)
+                else:
+                    await asyncio.Event().wait()
+            finally:
+                await server.stop()
+            counters = server.counters
+            print(
+                f"served {counters.get('net_queries', 0)} queries over "
+                f"{counters.get('net_connections', 0)} connections "
+                f"({counters.get('net_coalesced_waves', 0)} coalesced waves, "
+                f"{counters.get('net_shed', 0)} shed, "
+                f"{counters.get('net_journal_shipped', 0)} journal records "
+                f"shipped)"
+            )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_replica(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.replica import ReplicaNode
+
+    host, _, port = args.primary.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"error: primary must be HOST:PORT, got {args.primary!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def run() -> int:
+        node = ReplicaNode(
+            host,
+            int(port),
+            args.journal,
+            service_kwargs={
+                "num_workers": args.workers,
+                "num_supportive": args.supportive,
+                "seed": args.seed,
+                "use_kernels": args.kernels,
+            },
+        )
+        server = await node.serve(args.host, args.port)
+        print(
+            f"replica of {host}:{port} serving reads on "
+            f"{server.host}:{server.port} (watermark {node.watermark})",
+            flush=True,
+        )
+        runner = asyncio.create_task(node.run())
+        try:
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            node.stop()
+            await runner
+            await node.close()
+        print(
+            f"applied {node.records_applied} records "
+            f"({node.snapshots_loaded} snapshot bootstraps, "
+            f"{node.reconnects} connects); final watermark {node.watermark}"
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:

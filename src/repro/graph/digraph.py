@@ -255,12 +255,18 @@ class DynamicDiGraph:
     # Derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "DynamicDiGraph":
-        """An independent deep copy of the current snapshot."""
+        """An independent deep copy of the current snapshot.
+
+        The version counter is preserved: a copy identifies the *same*
+        snapshot, so version-keyed derived state (journal base versions,
+        replication watermarks) compares correctly against the copy.
+        """
         g = DynamicDiGraph()
         for v in self._out:
             g.add_vertex(v)
         for u, v in self.edges():
             g.add_edge(u, v)
+        g._version = self._version
         return g
 
     def reversed(self) -> "DynamicDiGraph":

@@ -42,6 +42,18 @@ edge list (temp file + fsync + rename, see
 :func:`repro.graph.io.write_edge_list`) and restarts the journal with a
 header pointing at it, so the journal never grows without bound and
 recovery cost is proportional to updates since the last checkpoint.
+
+Tailing
+-------
+:class:`JournalTailer` turns the journal into a *stream*: it reads
+records incrementally as a concurrent writer appends them, which is what
+primary->replica replication ships over the wire (``repro.net``). The
+tailer is torn-tail aware (an incomplete final line stays buffered until
+the writer finishes it), survives checkpoint compaction mid-tail (it
+drains the replaced file, then follows the rename), and deduplicates by
+version stamp so reopening never re-yields a record. A compaction that
+discarded records the tailer had not consumed yet raises
+:class:`JournalGap` — the subscriber must fall back to a full snapshot.
 """
 
 from __future__ import annotations
@@ -69,6 +81,12 @@ class JournalCorrupt(JournalError):
 class JournalReplayError(JournalError):
     """Replay produced a graph whose version disagrees with the records
     (the supplied base graph does not match the journal's base state)."""
+
+
+class JournalGap(JournalError):
+    """The journal no longer holds the records a tailer needs: compaction
+    discarded versions past the tailer's resume point. Recoverable only by
+    re-seeding from a full snapshot."""
 
 
 @dataclass
@@ -153,6 +171,18 @@ class UpdateJournal:
         if self._pending:
             self._syncs += 1
         self._pending = 0
+
+    def publish(self) -> None:
+        """Make buffered records visible to tailers without an fsync.
+
+        Replication wants freshness, durability wants batched fsyncs;
+        flushing the userspace buffer (no sync) serves the first without
+        paying for the second — a :class:`JournalTailer` on the same host
+        sees the records immediately, and the ``fsync_every`` durability
+        contract is unchanged.
+        """
+        if not self._handle.closed:
+            self._handle.flush()
 
     # ------------------------------------------------------------------
     # Compaction
@@ -294,3 +324,110 @@ def replay(
         torn_tail=torn,
         checkpoint=ckpt,
     )
+
+
+class JournalTailer:
+    """Incrementally read a journal that another thread/process appends to.
+
+    ``poll()`` returns every *complete, new* mutation record since the
+    last call, in order, each exactly once:
+
+    * a torn tail (the writer is mid-append, or the crash model's
+      arbitrary byte boundary) stays buffered until the line completes —
+      a record is never yielded partially and never yielded twice;
+    * headers are consumed silently, but a header whose base version is
+      ahead of the tailer's resume point means compaction discarded
+      records this tailer still needed — that raises :class:`JournalGap`;
+    * compaction mid-tail (the file is atomically replaced) is followed:
+      the tailer drains the replaced file it still holds open, reopens
+      the new one, and version-stamp dedup skips anything already seen;
+    * records at or below ``after_version`` are skipped, which makes
+      reconnect/resume exact: a replica that reconnects with its
+      watermark never re-applies a record.
+
+    The tailer never fsyncs and never writes; it is safe against a live
+    :class:`UpdateJournal` on the same path (pair it with
+    :meth:`UpdateJournal.publish` for sub-batch freshness).
+    """
+
+    def __init__(self, path: PathLike, after_version: int = 0) -> None:
+        self.path = Path(path)
+        self.last_version = after_version
+        self._handle = None
+        self._inode: Optional[int] = None
+        self._buffer = b""
+        self._open()
+
+    def _open(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        self._handle = open(self.path, "rb")
+        self._inode = os.fstat(self._handle.fileno()).st_ino
+        self._buffer = b""
+
+    def _consume(self, data: bytes, out: list) -> None:
+        self._buffer += data
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                return  # torn tail: wait for the writer to finish the line
+            line = self._buffer[:newline]
+            self._buffer = self._buffer[newline + 1:]
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A *complete* line that does not decode is corruption,
+                # not a torn tail — the newline proves the writer was done.
+                raise JournalCorrupt(
+                    f"{self.path}: undecodable record in tail"
+                )
+            if record.get("op") == "open":
+                base = int(record.get("ver", 0))
+                if base > self.last_version:
+                    raise JournalGap(
+                        f"{self.path}: compacted to base version {base} past "
+                        f"tail position {self.last_version}"
+                    )
+                continue
+            ver = record.get("ver")
+            if ver is None:
+                raise JournalCorrupt(f"{self.path}: record without version")
+            if ver <= self.last_version:
+                continue  # already streamed (reopen / resume overlap)
+            out.append(record)
+            self.last_version = ver
+
+    def poll(self) -> list:
+        """All complete records appended since the last poll (maybe [])."""
+        if self._handle is None:
+            raise JournalError("tailer is closed")
+        records: list = []
+        try:
+            stat = os.stat(self.path)
+        except FileNotFoundError:
+            stat = None
+        rotated = stat is None or stat.st_ino != self._inode
+        # Drain whatever the current handle can still see. After an
+        # atomic compaction rename the old inode stays readable through
+        # this handle, so nothing written before the rename is lost.
+        self._consume(self._handle.read(), records)
+        if rotated and stat is not None:
+            # checkpoint() flushes before renaming, so the replaced file
+            # ended on a record boundary; a leftover partial line would be
+            # a record that never committed — drop it with the old file.
+            self._open()
+            self._consume(self._handle.read(), records)
+        return records
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalTailer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,37 @@
+"""repro.net: the wire layer over :mod:`repro.service`.
+
+Three pieces, all asyncio and all pure-stdlib (no numpy dependency, so
+the wire layer runs unchanged on the no-kernel fallback substrate):
+
+* :mod:`repro.net.protocol` — length-prefixed JSON framing and the
+  message vocabulary (``query`` / ``batch`` / ``update`` / ``stats`` /
+  ``subscribe`` / ``ping``).
+* :mod:`repro.net.server` — :class:`ReachabilityServer`, which serves a
+  :class:`~repro.service.engine.ReachabilityService` with socket-layer
+  batch coalescing (concurrent wire queries gather into
+  ``query_batch(strategy="auto")`` waves), shed-with-retry-hint
+  backpressure, and journal-shipping ``subscribe`` feeds.
+* :mod:`repro.net.client` / :mod:`repro.net.replica` —
+  :class:`ReachabilityClient` (pipelined async client) and
+  :class:`ReplicaNode` (continuous replay at a version watermark,
+  exact-resume reconnects, snapshot fallback, promote-on-failure via
+  ``recover()``).
+"""
+
+from repro.net.client import (
+    ConnectionLost,
+    ReachabilityClient,
+    ServerError,
+)
+from repro.net.protocol import ProtocolError
+from repro.net.replica import ReplicaNode
+from repro.net.server import ReachabilityServer
+
+__all__ = [
+    "ConnectionLost",
+    "ProtocolError",
+    "ReachabilityClient",
+    "ReachabilityServer",
+    "ReplicaNode",
+    "ServerError",
+]

@@ -1,0 +1,211 @@
+"""The asyncio client: pipelined requests over one connection.
+
+:class:`ReachabilityClient` keeps a single connection and multiplexes
+any number of concurrent requests over it: each request carries a fresh
+``id``, a background reader task matches responses back to their
+awaiting futures, and ``journal`` stream frames (which carry no id) are
+routed to an internal queue for :meth:`next_journal`.
+
+Pipelining is the client half of the server's socket-layer coalescer:
+``asyncio.gather(*[client.query(s, t) for ...])`` puts every query on
+the wire before the first response returns, so the server sees them
+concurrently and packs them into one ``query_batch`` wave. A client that
+awaits each query before sending the next gets the scalar round-trip
+baseline instead — the gap between the two is what the loopback bench
+measures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net import protocol
+from repro.service.engine import QueryOutcome
+
+Pair = Tuple[int, int]
+
+
+class ServerError(RuntimeError):
+    """The server answered this request with an ``error`` frame."""
+
+
+class ConnectionLost(ConnectionError):
+    """The connection died with requests still awaiting responses."""
+
+
+class ReachabilityClient:
+    """An async client for one :class:`~repro.net.server.ReachabilityServer`.
+
+    Use as an async context manager, or pair :meth:`open` with
+    :meth:`close`::
+
+        async with await ReachabilityClient.open(host, port) as client:
+            outcome = await client.query(0, 9)
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._next_id = 0
+        self._journal_frames: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "ReachabilityClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader_task
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+        self._fail_pending(ConnectionLost("client closed"))
+
+    async def __aenter__(self) -> "ReachabilityClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        error: Exception = ConnectionLost("connection closed by server")
+        try:
+            while True:
+                message = await protocol.read_frame(self._reader)
+                if message is None:
+                    break
+                if message.get("type") == protocol.JOURNAL:
+                    await self._journal_frames.put(message)
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (protocol.ProtocolError, ConnectionError, OSError) as exc:
+            error = ConnectionLost(str(exc))
+        finally:
+            self._fail_pending(error)
+            # Wake any journal-stream consumer so it sees the loss.
+            self._journal_frames.put_nowait(None)
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _request(self, message: dict) -> dict:
+        if self._closed:
+            raise ConnectionLost("client closed")
+        self._next_id += 1
+        mid = message["id"] = self._next_id
+        future: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[mid] = future
+        async with self._send_lock:
+            await protocol.send(self._writer, message)
+        reply = await future
+        if reply.get("type") == protocol.ERROR:
+            raise ServerError(reply.get("error", "unknown"))
+        return reply
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def query(
+        self, s: int, t: int, deadline_ms: Optional[int] = None
+    ) -> QueryOutcome:
+        """One reachability query; shed answers come back ``via="shed"``
+        with their ``retry_after_ms`` hint intact."""
+        message = {"type": protocol.QUERY, "s": s, "t": t}
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        reply = await self._request(message)
+        return protocol.outcome_from_wire(reply)
+
+    async def query_batch(
+        self,
+        pairs: Sequence[Pair],
+        strategy: str = "auto",
+        deadline_ms: Optional[int] = None,
+    ) -> List[QueryOutcome]:
+        """One explicit batch request (a single ``query_batch`` call
+        server-side, bypassing the coalescer)."""
+        message = {
+            "type": protocol.BATCH,
+            "pairs": [[s, t] for s, t in pairs],
+            "strategy": strategy,
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        reply = await self._request(message)
+        return [protocol.outcome_from_wire(w) for w in reply["outcomes"]]
+
+    async def add_edge(self, u: int, v: int) -> dict:
+        """Insert an edge; returns ``{"applied": bool, "version": int}``.
+        Raises :class:`ServerError` (``read-only-replica``) on a replica."""
+        return await self._update("+", u, v)
+
+    async def remove_edge(self, u: int, v: int) -> dict:
+        """Delete an edge; same contract as :meth:`add_edge`."""
+        return await self._update("-", u, v)
+
+    async def _update(self, op: str, u: int, v: int) -> dict:
+        reply = await self._request(
+            {"type": protocol.UPDATE, "op": op, "u": u, "v": v}
+        )
+        return {"applied": reply["applied"], "version": reply["version"]}
+
+    async def stats(self) -> dict:
+        """The server's full stats frame: ``stats`` (service snapshot,
+        counters + derived incl. ``word_occupancy`` and the ``batch_*``
+        family), ``server`` (wire counters), ``role``, ``watermark``."""
+        return await self._request({"type": protocol.STATS})
+
+    async def ping(self) -> dict:
+        """Liveness probe; returns ``{"role", "watermark", ...}``."""
+        return await self._request({"type": protocol.PING})
+
+    # ------------------------------------------------------------------
+    # Replication stream
+    # ------------------------------------------------------------------
+    async def subscribe(self, after: int = 0) -> dict:
+        """Turn this connection into a journal feed.
+
+        Returns the ``subscribed`` reply — ``version`` is where the
+        stream starts, and ``snapshot`` is present when the primary's
+        journal could not serve ``after`` (bootstrap from it first).
+        Stream records then arrive via :meth:`next_journal`.
+        """
+        return await self._request({"type": protocol.SUBSCRIBE, "after": after})
+
+    async def next_journal(
+        self, timeout: Optional[float] = None
+    ) -> Optional[dict]:
+        """The next shipped journal record, or ``None`` when the
+        connection is gone (resubscribe elsewhere) or ``timeout`` (in
+        seconds) elapses with the stream idle."""
+        try:
+            if timeout is None:
+                return await self._journal_frames.get()
+            return await asyncio.wait_for(
+                self._journal_frames.get(), timeout
+            )
+        except asyncio.TimeoutError:
+            return None

@@ -1,0 +1,156 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+Every message is one frame: a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON encoding one object. Length prefixing
+(not line framing) keeps the protocol binary-safe and makes partial reads
+unambiguous: a reader always knows whether it is waiting for more bytes
+or looking at a finished message — the property journal records already
+rely on for torn-tail recovery, applied at the transport layer.
+
+Request messages carry a client-chosen ``id`` that the response echoes,
+so one connection can have many requests in flight — which is exactly
+what the server's socket-layer coalescer exploits: concurrent ``query``
+frames on one (or many) connections gather into one
+``query_batch(strategy="auto")`` wave.
+
+Message types (requests -> responses):
+
+====================  =====================================================
+``query``             ``{"type": "query", "id", "s", "t", "deadline_ms"?}``
+                      -> ``result`` (a wire-encoded ``QueryOutcome``)
+``batch``             ``{"type": "batch", "id", "pairs": [[s, t], ...],
+                      "strategy"?, "deadline_ms"?}`` -> ``batch-result``
+``update``            ``{"type": "update", "id", "op": "+"|"-", "u", "v"}``
+                      -> ``update-result`` | ``error`` (read-only replica)
+``stats``             ``{"type": "stats", "id"}`` -> ``stats-result`` with
+                      the full service snapshot, server counters, role,
+                      and watermark
+``subscribe``         ``{"type": "subscribe", "id", "after": version}`` ->
+                      ``subscribed`` (with a full ``snapshot`` when the
+                      journal cannot serve ``after``), then a stream of
+                      ``journal`` frames (shipped journal records)
+``ping``              ``{"type": "ping", "id"}`` -> ``pong``
+====================  =====================================================
+
+Errors at the request level come back as
+``{"type": "error", "id", "error": reason}``; errors at the framing level
+(oversized, truncated, or undecodable frames) are connection-fatal and
+raise :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional
+
+from repro.service.engine import QueryOutcome
+
+#: Frame header: 4-byte big-endian length.
+_HEADER = struct.Struct(">I")
+
+#: Hard ceiling on one frame; a graph snapshot of a few million edges
+#: fits, anything larger is a framing bug, not a bigger message.
+MAX_FRAME = 64 * 1024 * 1024
+
+# Request types.
+QUERY = "query"
+BATCH = "batch"
+UPDATE = "update"
+STATS = "stats"
+SUBSCRIBE = "subscribe"
+PING = "ping"
+
+# Response / stream types.
+RESULT = "result"
+BATCH_RESULT = "batch-result"
+UPDATE_RESULT = "update-result"
+STATS_RESULT = "stats-result"
+SUBSCRIBED = "subscribed"
+JOURNAL = "journal"
+PONG = "pong"
+ERROR = "error"
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream is not a valid frame sequence (connection-fatal)."""
+
+
+def encode(message: dict) -> bytes:
+    """One message as a length-prefixed frame."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """The next message, or ``None`` on clean EOF (between frames).
+
+    EOF *inside* a frame — header or body — is a truncated stream and
+    raises :class:`ProtocolError`, as do oversized and undecodable
+    frames: framing errors poison the stream position, so callers must
+    drop the connection rather than resynchronize.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("truncated frame header") from exc
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("truncated frame body") from exc
+    try:
+        message = json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError("undecodable frame body") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body is not an object")
+    return message
+
+
+async def send(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame and drain (so backpressure reaches the sender)."""
+    writer.write(encode(message))
+    await writer.drain()
+
+
+def outcome_to_wire(outcome: QueryOutcome) -> dict:
+    """A :class:`QueryOutcome` as wire fields (merged into a response)."""
+    wire = {
+        "s": outcome.source,
+        "t": outcome.target,
+        "answer": outcome.answer,
+        "confident": outcome.confident,
+        "via": outcome.via,
+        "version": outcome.version,
+    }
+    if outcome.detail:
+        wire["detail"] = outcome.detail
+    if outcome.retry_after_ms is not None:
+        wire["retry_after_ms"] = outcome.retry_after_ms
+    return wire
+
+
+def outcome_from_wire(wire: dict) -> QueryOutcome:
+    """The inverse of :func:`outcome_to_wire` (client-side decoding)."""
+    return QueryOutcome(
+        source=int(wire["s"]),
+        target=int(wire["t"]),
+        answer=bool(wire["answer"]),
+        confident=bool(wire["confident"]),
+        via=str(wire["via"]),
+        version=int(wire["version"]),
+        detail=str(wire.get("detail", "")),
+        retry_after_ms=(
+            int(wire["retry_after_ms"])
+            if wire.get("retry_after_ms") is not None
+            else None
+        ),
+    )

@@ -1,0 +1,473 @@
+"""The asyncio serving front end over one :class:`ReachabilityService`.
+
+Architecture
+------------
+One event loop owns all sockets; the (thread-based, GIL-releasing-on-IO)
+service runs in executor threads. Three mechanisms make the wire cheap:
+
+* **Socket-layer coalescing.** ``query`` frames do not call
+  ``service.query`` one by one: they enqueue onto a server-wide batch
+  queue, and a single drain task gathers everything queued — across all
+  connections — into one ``service.query_batch(strategy="auto")`` call
+  per wave (the PR 5 batcher is the sink, so dedup, fast-path/cache
+  pre-filtering, and bit-parallel kernel waves all engage). Under load
+  the queue refills while a wave executes, so waves pack toward
+  ``max_wave`` lanes exactly when batching pays most; an idle server
+  degenerates to per-query dispatch with one queue hop of overhead.
+* **Backpressure.** With ``service.max_pending`` set, the coalescer
+  sheds at enqueue time once that many wire queries are queued or
+  executing — before any executor thread is burned. Shed responses are
+  built by :meth:`ReachabilityService.shed_outcome`, so every rejection
+  carries the live ``retry_after_ms`` hint derived from observed
+  engine-stage latency.
+* **Journal shipping.** A ``subscribe`` frame turns the connection into
+  a replication feed: a :class:`~repro.graph.journal.JournalTailer`
+  follows the service's write-ahead journal and every record streams to
+  the subscriber as a ``journal`` frame. A subscriber whose resume point
+  was compacted away gets a full ``snapshot`` in the ``subscribed``
+  response first (one coherent read-locked graph capture), then the
+  stream continues from the snapshot's version.
+
+The server never trusts the network with correctness: every answer is a
+:class:`~repro.service.engine.QueryOutcome` produced by the service
+pipeline, version-stamped as usual, so a client can always tell which
+snapshot — which replication watermark, on a replica — answered it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.graph.journal import JournalGap, JournalTailer
+from repro.net import protocol
+from repro.service.engine import QueryOutcome, ReachabilityService
+
+Pair = Tuple[int, int]
+
+
+class ReachabilityServer:
+    """Serve one :class:`ReachabilityService` over asyncio sockets.
+
+    Parameters
+    ----------
+    service:
+        The service to serve. The server never closes it.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    coalesce:
+        Gather concurrent ``query`` frames into ``query_batch`` waves
+        (the default). ``False`` serves each query with a dedicated
+        ``service.query`` executor call — the per-connection scalar
+        round-trip baseline the loopback bench compares against.
+    max_wave:
+        Most queries drained into one ``query_batch`` call.
+    coalesce_delay_s:
+        Optional gathering window: how long the drain task waits after
+        the first enqueue before draining, letting concurrent arrivals
+        pack into the same wave. 0 (default) drains immediately —
+        under real load the executor round-trip itself is the window.
+    batch_strategy:
+        Strategy handed to ``query_batch`` for coalesced waves.
+    read_only:
+        Reject ``update`` frames (replica mode). Flipped by
+        :meth:`promote`.
+    role:
+        Advertised in ``stats-result`` frames (``"primary"`` /
+        ``"replica"``).
+    tail_poll_s:
+        Subscriber feed poll interval when the journal is idle.
+    """
+
+    def __init__(
+        self,
+        service: ReachabilityService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        coalesce: bool = True,
+        max_wave: int = 256,
+        coalesce_delay_s: float = 0.0,
+        batch_strategy: str = "auto",
+        read_only: bool = False,
+        role: str = "primary",
+        tail_poll_s: float = 0.02,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.role = role
+        self.read_only = read_only
+        self._coalesce = coalesce
+        self._max_wave = max(1, max_wave)
+        self._coalesce_delay_s = max(0.0, coalesce_delay_s)
+        self._batch_strategy = batch_strategy
+        self._tail_poll_s = tail_poll_s
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Deque[
+            Tuple[Pair, Optional[float], "asyncio.Future[QueryOutcome]"]
+        ] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._inflight = 0  # wire queries queued or executing
+        self._closed = False
+        self._conn_tasks: set = set()
+        # Single-threaded counters (event loop only); exposed via STATS.
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ReachabilityServer":
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self._coalesce:
+            self._drain_task = asyncio.create_task(self._drain_loop())
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting, fail queued queries, and close connections."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._drain_task
+        while self._queue:
+            pair, _, future = self._queue.popleft()
+            if not future.done():
+                future.set_result(
+                    self._error_outcome(pair[0], pair[1], "server-stopped")
+                )
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    def promote(self) -> None:
+        """Flip a replica server writable (role and read-only gate)."""
+        self.read_only = False
+        self.role = "primary"
+
+    def _incr(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._incr("net_connections")
+        send_lock = asyncio.Lock()
+        pending: set = set()
+
+        async def respond(message: dict) -> None:
+            async with send_lock:
+                await protocol.send(writer, message)
+
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while not self._closed:
+                try:
+                    message = await protocol.read_frame(reader)
+                except protocol.ProtocolError:
+                    self._incr("net_protocol_errors")
+                    break
+                if message is None:
+                    break
+                # Dispatch without blocking the read loop: responses are
+                # written out of order (matched by id), which is what
+                # lets one connection keep many queries in flight.
+                handler = asyncio.create_task(
+                    self._handle_message(message, respond)
+                )
+                pending.add(handler)
+                handler.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for handler in pending:
+                handler.cancel()
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_message(self, message: dict, respond) -> None:
+        mid = message.get("id")
+        mtype = message.get("type")
+        self._incr("net_requests")
+        try:
+            if mtype == protocol.QUERY:
+                outcome = await self._serve_query(
+                    int(message["s"]),
+                    int(message["t"]),
+                    self._deadline_s(message),
+                )
+                reply = {
+                    "type": protocol.RESULT,
+                    "id": mid,
+                    **protocol.outcome_to_wire(outcome),
+                }
+            elif mtype == protocol.BATCH:
+                reply = await self._serve_batch(message, mid)
+            elif mtype == protocol.UPDATE:
+                reply = await self._serve_update(message, mid)
+            elif mtype == protocol.STATS:
+                reply = await self._serve_stats(mid)
+            elif mtype == protocol.PING:
+                reply = {
+                    "type": protocol.PONG,
+                    "id": mid,
+                    "role": self.role,
+                    "watermark": self.service.watermark,
+                }
+            elif mtype == protocol.SUBSCRIBE:
+                await self._serve_subscription(message, respond)
+                return
+            else:
+                reply = {
+                    "type": protocol.ERROR,
+                    "id": mid,
+                    "error": f"unknown-type:{mtype}",
+                }
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # per-request containment, never fatal
+            self._incr("net_request_errors")
+            reply = {
+                "type": protocol.ERROR,
+                "id": mid,
+                "error": str(exc) or type(exc).__name__,
+            }
+        with contextlib.suppress(ConnectionError, RuntimeError):
+            await respond(reply)
+
+    @staticmethod
+    def _deadline_s(message: dict) -> Optional[float]:
+        deadline_ms = message.get("deadline_ms")
+        return float(deadline_ms) / 1000.0 if deadline_ms else None
+
+    # ------------------------------------------------------------------
+    # Queries: the socket-layer coalescer
+    # ------------------------------------------------------------------
+    async def _serve_query(
+        self, s: int, t: int, deadline_s: Optional[float]
+    ) -> QueryOutcome:
+        self._incr("net_queries")
+        if not self._coalesce:
+            return await self._loop.run_in_executor(
+                None, lambda: self.service.query(s, t, deadline_s)
+            )
+        max_pending = self.service.max_pending
+        if max_pending and self._inflight >= max_pending:
+            # Socket-layer backpressure: shed before burning an executor
+            # thread, with the same live retry-after hint the in-process
+            # admission control attaches.
+            self._incr("net_shed")
+            return self.service.shed_outcome(s, t, backlog=self._inflight)
+        future: "asyncio.Future[QueryOutcome]" = self._loop.create_future()
+        self._inflight += 1
+        self._queue.append(((s, t), deadline_s, future))
+        self._wakeup.set()
+        return await future
+
+    async def _drain_loop(self) -> None:
+        while not self._closed:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._coalesce_delay_s:
+                # Gathering window: let concurrent arrivals join the wave.
+                await asyncio.sleep(self._coalesce_delay_s)
+            while self._queue:
+                items = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self._max_wave))
+                ]
+                await self._run_wave(items)
+
+    async def _run_wave(
+        self,
+        items: List[Tuple[Pair, Optional[float], "asyncio.Future[QueryOutcome]"]],
+    ) -> None:
+        pairs = [item[0] for item in items]
+        deadlines = [d for _, d, _ in items if d is not None]
+        deadline_s = min(deadlines) if deadlines else None
+        self._incr("net_coalesced_waves")
+        self._incr("net_coalesced_queries", len(items))
+        try:
+            outcomes = await self._loop.run_in_executor(
+                None,
+                lambda: self.service.query_batch(
+                    pairs, deadline_s, strategy=self._batch_strategy
+                ),
+            )
+        except Exception as exc:
+            self._incr("net_wave_errors")
+            detail = f"wave-failed:{type(exc).__name__}"
+            outcomes = [self._error_outcome(s, t, detail) for s, t in pairs]
+        finally:
+            self._inflight -= len(items)
+        for (_, _, future), outcome in zip(items, outcomes):
+            if not future.done():
+                future.set_result(outcome)
+
+    def _error_outcome(self, s: int, t: int, detail: str) -> QueryOutcome:
+        return QueryOutcome(
+            s, t, False, False, "error", self.service.graph.version, detail
+        )
+
+    # ------------------------------------------------------------------
+    # Batch / update / stats
+    # ------------------------------------------------------------------
+    async def _serve_batch(self, message: dict, mid) -> dict:
+        pairs = [(int(s), int(t)) for s, t in message.get("pairs", [])]
+        strategy = message.get("strategy", "auto")
+        deadline_s = self._deadline_s(message)
+        self._incr("net_batches")
+        self._incr("net_queries", len(pairs))
+        outcomes = await self._loop.run_in_executor(
+            None,
+            lambda: self.service.query_batch(
+                pairs, deadline_s, strategy=strategy
+            ),
+        )
+        return {
+            "type": protocol.BATCH_RESULT,
+            "id": mid,
+            "outcomes": [protocol.outcome_to_wire(o) for o in outcomes],
+        }
+
+    async def _serve_update(self, message: dict, mid) -> dict:
+        if self.read_only:
+            self._incr("net_updates_rejected")
+            return {
+                "type": protocol.ERROR,
+                "id": mid,
+                "error": "read-only-replica",
+                "role": self.role,
+            }
+        op = message.get("op")
+        u, v = int(message["u"]), int(message["v"])
+        if op == "+":
+            apply = lambda: self.service.add_edge(u, v)  # noqa: E731
+        elif op == "-":
+            apply = lambda: self.service.remove_edge(u, v)  # noqa: E731
+        else:
+            return {
+                "type": protocol.ERROR,
+                "id": mid,
+                "error": f"unknown-op:{op}",
+            }
+        self._incr("net_updates")
+        effect = await self._loop.run_in_executor(None, apply)
+        return {
+            "type": protocol.UPDATE_RESULT,
+            "id": mid,
+            "applied": effect.changed,
+            "version": effect.version,
+        }
+
+    async def _serve_stats(self, mid) -> dict:
+        snapshot = await self._loop.run_in_executor(None, self.service.stats)
+        return {
+            "type": protocol.STATS_RESULT,
+            "id": mid,
+            "role": self.role,
+            "watermark": self.service.watermark,
+            "stats": snapshot,
+            "server": dict(self.counters),
+        }
+
+    # ------------------------------------------------------------------
+    # Replication: SUBSCRIBE feeds
+    # ------------------------------------------------------------------
+    async def _serve_subscription(self, message: dict, respond) -> None:
+        mid = message.get("id")
+        after = int(message.get("after", 0))
+        journal = self.service.journal
+        if journal is None:
+            await respond(
+                {"type": protocol.ERROR, "id": mid, "error": "no-journal"}
+            )
+            return
+        self._incr("net_subscribers")
+        tailer: Optional[JournalTailer] = None
+        snapshot_block = None
+        try:
+            try:
+                tailer = JournalTailer(journal.path, after_version=after)
+                # Probe immediately: a compacted-away resume point only
+                # surfaces when the header is read.
+                backlog = await self._loop.run_in_executor(None, tailer.poll)
+            except JournalGap:
+                # The journal cannot serve `after` any more — bootstrap
+                # the subscriber from a coherent full snapshot instead.
+                if tailer is not None:
+                    tailer.close()
+                edges, isolated, version = await self._loop.run_in_executor(
+                    None, self.service.graph_snapshot
+                )
+                snapshot_block = {
+                    "edges": [[u, v] for u, v in edges],
+                    "vertices": isolated,
+                    "version": version,
+                }
+                self._incr("net_snapshots_sent")
+                tailer = JournalTailer(journal.path, after_version=version)
+                backlog = await self._loop.run_in_executor(None, tailer.poll)
+            subscribed = {
+                "type": protocol.SUBSCRIBED,
+                "id": mid,
+                "version": tailer.last_version,
+                "role": self.role,
+            }
+            if snapshot_block is not None:
+                subscribed["snapshot"] = snapshot_block
+            await respond(subscribed)
+            for record in backlog:
+                await respond({"type": protocol.JOURNAL, **record})
+                self._incr("net_journal_shipped")
+            while not self._closed:
+                journal.publish()
+                records = await self._loop.run_in_executor(None, tailer.poll)
+                for record in records:
+                    await respond({"type": protocol.JOURNAL, **record})
+                    self._incr("net_journal_shipped")
+                if not records:
+                    await asyncio.sleep(self._tail_poll_s)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as exc:
+            self._incr("net_feed_errors")
+            with contextlib.suppress(Exception):
+                await respond(
+                    {
+                        "type": protocol.ERROR,
+                        "id": mid,
+                        "error": f"feed-failed:{exc}",
+                    }
+                )
+        finally:
+            if tailer is not None:
+                tailer.close()

@@ -67,6 +67,18 @@ class ReplayResult:
             ),
             "failed_updates": self.failed_updates,
             "shed": self.shed_queries,
+            # Batch-path observability: occupancy and the batch_* family
+            # ride along so serve-bench JSON (and everything built on
+            # summary rows) exposes them without reading engine internals.
+            "word_occupancy": round(derived.get("word_occupancy", 0.0), 4),
+            "bit_waves": counters.get("bit_waves", 0),
+            "bit_resolved": counters.get("bit_resolved", 0),
+            "batched_dedup": counters.get("batched_dedup", 0),
+            "batch_prefilter_hits": counters.get("batch_prefilter_hits", 0),
+            "batch_scalar_queries": counters.get("batch_scalar_queries", 0),
+            "batch_auto_bitparallel": counters.get("batch_auto_bitparallel", 0),
+            "batch_auto_scalar": counters.get("batch_auto_scalar", 0),
+            "batch_wave_failures": counters.get("batch_wave_failures", 0),
         }
 
 

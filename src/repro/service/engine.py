@@ -69,7 +69,7 @@ from repro.core.params import IFCAParams
 from repro.graph import kernels
 from repro.graph.bitsearch import csr_bit_bibfs
 from repro.graph.digraph import DynamicDiGraph
-from repro.graph.journal import UpdateJournal
+from repro.graph.journal import JournalReplayError, UpdateJournal
 from repro.service.batcher import BatchCostModel, plan_batch
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock
@@ -101,6 +101,11 @@ class QueryOutcome:
     #: Stage detail (fast-path rule name, engine termination reason,
     #: ``retry-after-ms=N`` for shed queries, ...).
     detail: str = ""
+    #: Structured retry hint for shed outcomes (milliseconds), derived by
+    #: admission control from the live engine-stage mean latency. Always
+    #: set on ``via="shed"`` / ``"shed-dedup"`` outcomes — clients and the
+    #: wire protocol read this field, not the ``detail`` string.
+    retry_after_ms: Optional[int] = None
 
 
 _DEFAULT_POLICY = StagePolicy()
@@ -400,6 +405,74 @@ class ReachabilityService:
             self._note_update(effect, "vertex_adds")
         return effect
 
+    def apply_journal_record(self, record: Dict) -> Optional[UpdateEffect]:
+        """Apply one shipped journal record — the replication write path.
+
+        A replica following a primary's journal stream applies records
+        here instead of :meth:`add_edge` / :meth:`remove_edge`: the same
+        pruner repair, cache invalidation, and local journaling run, but
+        the resulting version is *verified* against the record's stamp —
+        version arithmetic is deterministic, so a mismatch means the
+        replica's graph has diverged from the primary's base state and
+        the apply raises :class:`~repro.graph.journal.JournalReplayError`
+        rather than advancing a silently wrong watermark.
+
+        Records at or below the current watermark are skipped (``None``:
+        the reconnect/resume overlap), so the apply is idempotent.
+        """
+        op = record.get("op")
+        if op not in ("+", "-"):
+            raise ValueError(f"not a mutation record: op={op!r}")
+        u, v, ver = int(record["u"]), int(record["v"]), int(record["ver"])
+        insert = op == "+"
+        self._check_open()
+        start = time.perf_counter()
+        timeout = self._policy("update").timeout_s
+        with self._lock.write_timeout(timeout):
+            if ver <= self.graph.version:
+                self._stats.incr("replica_stale_records")
+                return None
+            self._fire("update")
+            if insert:
+                effect = self._pruner.apply_insert(u, v)
+            else:
+                effect = self._pruner.apply_delete(u, v)
+            if not effect.changed or effect.version != ver:
+                raise JournalReplayError(
+                    f"replicated record {op}{(u, v)} stamped {ver} landed at "
+                    f"version {effect.version} (changed={effect.changed}) — "
+                    "replica has diverged from the primary's base state"
+                )
+            self._journal_record(insert, u, v, effect.version)
+            self._note_update(effect, "inserts" if insert else "deletes")
+            self._stats.incr("replica_applied_records")
+        self._stats.observe_latency("update", time.perf_counter() - start)
+        return effect
+
+    @property
+    def watermark(self) -> int:
+        """The graph version all reads on this service are exact for.
+
+        On a primary this is just the version counter; on a replica it is
+        the last verified journal record applied — the replication
+        freshness watermark every :class:`QueryOutcome` already stamps.
+        """
+        return self.graph.version
+
+    def graph_snapshot(self) -> Tuple[List[Tuple[int, int]], List[int], int]:
+        """``(edges, isolated_vertices, version)`` under the read lock.
+
+        One coherent full-graph snapshot for bootstrapping a replica that
+        cannot be served from the journal (its resume point was compacted
+        away). Isolated vertices ride along so the rebuilt graph matches
+        edge-for-edge *and* vertex-for-vertex.
+        """
+        with self._lock.read:
+            edges = list(self.graph.edges())
+            covered = {u for u, _ in edges} | {v for _, v in edges}
+            isolated = [v for v in self.graph.vertices() if v not in covered]
+            return edges, isolated, self.graph.version
+
     def _journal_record(self, insert: bool, u: int, v: int, version: int) -> None:
         """Append one applied mutation to the journal (if any).
 
@@ -488,22 +561,42 @@ class ReachabilityService:
                 self._pending -= 1
 
     def _shed(self, source: int, target: int, backlog: int) -> "Future[QueryOutcome]":
-        self._stats.incr("shed")
-        mean = self._stats.stage_mean_seconds("engine") or 1e-3
-        retry_ms = max(1, int(1000.0 * backlog * mean / self._num_workers))
         future: "Future[QueryOutcome]" = Future()
-        future.set_result(
-            QueryOutcome(
-                source,
-                target,
-                False,
-                False,
-                "shed",
-                self.graph.version,  # advisory; read without the lock
-                f"retry-after-ms={retry_ms}",
-            )
-        )
+        future.set_result(self.shed_outcome(source, target, backlog))
         return future
+
+    def retry_after_hint_ms(self, backlog: Optional[int] = None) -> int:
+        """The live retry-after hint (ms) admission control attaches to
+        shed outcomes: ``backlog`` queries drained at the observed
+        engine-stage mean latency across the worker pool."""
+        if backlog is None:
+            backlog = self.pending
+        mean = self._stats.stage_mean_seconds("engine") or 1e-3
+        return max(1, int(1000.0 * max(1, backlog) * mean / self._num_workers))
+
+    def shed_outcome(
+        self, source: int, target: int, backlog: Optional[int] = None
+    ) -> QueryOutcome:
+        """One admission-control rejection, hint attached.
+
+        Every shed path — :meth:`submit` overload, batch dedup retries,
+        and the network front end's socket-layer backpressure
+        (:mod:`repro.net`) — builds its outcome here, so the retry-after
+        hint is carried structurally (:attr:`QueryOutcome.retry_after_ms`)
+        on every rejection, never only in the detail string.
+        """
+        self._stats.incr("shed")
+        retry_ms = self.retry_after_hint_ms(backlog)
+        return QueryOutcome(
+            source,
+            target,
+            False,
+            False,
+            "shed",
+            self.graph.version,  # advisory; read without the lock
+            f"retry-after-ms={retry_ms}",
+            retry_after_ms=retry_ms,
+        )
 
     @property
     def pending(self) -> int:

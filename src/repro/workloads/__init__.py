@@ -11,6 +11,7 @@ from repro.workloads.mixed import (
     generate_mixed_workload,
     load_workload,
     save_workload,
+    split_for_clients,
     workload_mix,
 )
 from repro.workloads.precision import accuracy, confusion_counts, precision_recall
@@ -27,5 +28,6 @@ __all__ = [
     "precision_recall",
     "save_workload",
     "split_by_sign",
+    "split_for_clients",
     "workload_mix",
 ]

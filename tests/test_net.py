@@ -1,0 +1,501 @@
+"""Loopback tests for the wire layer: server, client, replication.
+
+Everything runs against real sockets on 127.0.0.1 (ephemeral ports) with
+``asyncio.run`` driving each scenario. Marked ``net`` — the tier-2 CI
+leg runs this file alone (with a no-numpy leg); it also runs under the
+tier-1 sweep, so every scenario is kept small and bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import is_reachable_bfs
+from repro.net import (
+    ReachabilityClient,
+    ReachabilityServer,
+    ReplicaNode,
+    ServerError,
+)
+from repro.service.engine import ReachabilityService
+
+pytestmark = pytest.mark.net
+
+#: Safety net: no loopback scenario may hang the suite.
+SCENARIO_TIMEOUT_S = 30.0
+
+
+def run(coro):
+    async def bounded():
+        return await asyncio.wait_for(coro, SCENARIO_TIMEOUT_S)
+
+    return asyncio.run(bounded())
+
+
+def chain_graph(n: int = 40) -> DynamicDiGraph:
+    # Two chains: pairs across them are unreachable, within reachable.
+    edges = [(i, i + 1) for i in range(n)]
+    edges += [(1000 + i, 1001 + i) for i in range(n)]
+    return DynamicDiGraph(edges)
+
+
+@contextlib.asynccontextmanager
+async def serving(service, **server_kwargs):
+    server = ReachabilityServer(service, port=0, **server_kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+async def wait_until(predicate, timeout_s: float = 10.0, step_s: float = 0.01):
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(step_s)
+
+
+# ----------------------------------------------------------------------
+# Query / batch / update / stats over the wire
+# ----------------------------------------------------------------------
+def test_wire_queries_match_bfs_oracle():
+    async def scenario():
+        graph = chain_graph()
+        with ReachabilityService(graph, num_workers=2) as service:
+            async with serving(service) as server:
+                pairs = [(0, 40), (40, 0), (0, 1040), (1000, 1040), (5, 35)]
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    for s, t in pairs:
+                        outcome = await client.query(s, t)
+                        assert outcome.answer == is_reachable_bfs(graph, s, t)
+                        assert outcome.confident
+                        assert outcome.version == graph.version
+                    batch = await client.query_batch(pairs)
+                    assert [o.answer for o in batch] == [
+                        is_reachable_bfs(graph, s, t) for s, t in pairs
+                    ]
+
+    run(scenario())
+
+
+def test_concurrent_wire_queries_coalesce_into_waves():
+    async def scenario():
+        graph = chain_graph()
+        with ReachabilityService(graph, num_workers=2) as service:
+            # A gathering window makes wave packing deterministic: all
+            # 32 concurrent queries are enqueued before the first drain.
+            async with serving(
+                service, coalesce_delay_s=0.05
+            ) as server:
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    pairs = [(i, 40) for i in range(16)]
+                    pairs += [(0, 1000 + i) for i in range(16)]
+                    outcomes = await asyncio.gather(
+                        *[client.query(s, t) for s, t in pairs]
+                    )
+                assert [o.answer for o in outcomes] == [True] * 16 + [
+                    False
+                ] * 16
+                assert server.counters["net_coalesced_waves"] == 1
+                assert server.counters["net_coalesced_queries"] == 32
+        # The wave went through the batch pipeline, not 32 scalar calls.
+        counters = service.stats()["counters"]
+        assert (
+            counters.get("batch_auto_bitparallel", 0)
+            + counters.get("batch_auto_scalar", 0)
+            + counters.get("batch_scalar_fallback", 0)
+            >= 1
+        )
+
+    run(scenario())
+
+
+def test_uncoalesced_server_serves_scalar_round_trips():
+    async def scenario():
+        graph = chain_graph()
+        with ReachabilityService(graph, num_workers=2) as service:
+            async with serving(service, coalesce=False) as server:
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    outcomes = await asyncio.gather(
+                        *[client.query(i, 40) for i in range(8)]
+                    )
+                assert all(o.answer for o in outcomes)
+                assert "net_coalesced_waves" not in server.counters
+
+    run(scenario())
+
+
+def test_shed_response_carries_live_retry_after_hint():
+    async def scenario():
+        graph = chain_graph()
+        with ReachabilityService(
+            graph, num_workers=2, max_pending=1
+        ) as service:
+            # Hold the drain long enough that the first query is still
+            # queued (inflight=1) when the rest arrive -> they shed.
+            async with serving(service, coalesce_delay_s=0.2) as server:
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    outcomes = await asyncio.gather(
+                        *[client.query(0, 40) for _ in range(5)]
+                    )
+                shed = [o for o in outcomes if o.via == "shed"]
+                served = [o for o in outcomes if o.via != "shed"]
+                assert len(served) == 1 and served[0].answer
+                assert len(shed) == 4
+                for outcome in shed:
+                    # The audit point: every wire rejection carries the
+                    # machine-readable hint, not just a log line.
+                    assert isinstance(outcome.retry_after_ms, int)
+                    assert outcome.retry_after_ms >= 1
+                    assert not outcome.confident
+                assert server.counters["net_shed"] == 4
+
+    run(scenario())
+
+
+def test_update_over_wire_and_read_only_rejection():
+    async def scenario():
+        graph = chain_graph()
+        with ReachabilityService(graph, num_workers=2) as service:
+            async with serving(service) as server:
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    before = (await client.query(0, 2000)).answer
+                    assert not before
+                    applied = await client.add_edge(40, 2000)
+                    assert applied["applied"]
+                    assert applied["version"] == service.watermark
+                    assert (await client.query(0, 2000)).answer
+                    removed = await client.remove_edge(40, 2000)
+                    assert removed["applied"]
+            # Read-only (replica-role) servers reject writes loudly.
+            async with serving(
+                service, read_only=True, role="replica"
+            ) as server:
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    with pytest.raises(ServerError, match="read-only"):
+                        await client.add_edge(1, 2)
+                    assert (await client.ping())["role"] == "replica"
+
+    run(scenario())
+
+
+def test_stats_frame_surfaces_occupancy_and_batch_counters():
+    async def scenario():
+        graph = chain_graph()
+        with ReachabilityService(graph, num_workers=2) as service:
+            async with serving(service) as server:
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    await client.query_batch(
+                        [(i, 40) for i in range(12)], strategy="auto"
+                    )
+                    frame = await client.stats()
+                assert frame["role"] == "primary"
+                assert frame["watermark"] == graph.version
+                derived = frame["stats"]["derived"]
+                counters = frame["stats"]["counters"]
+                # The satellite: occupancy and the batch_* family are on
+                # the wire, not just in-process.
+                assert "word_occupancy" in derived
+                assert (
+                    counters.get("batch_auto_bitparallel", 0)
+                    + counters.get("batch_auto_scalar", 0)
+                    + counters.get("batch_scalar_fallback", 0)
+                    >= 1
+                )
+                assert frame["server"]["net_batches"] == 1
+                assert frame["server"]["net_connections"] == 1
+
+    run(scenario())
+
+
+def test_protocol_error_drops_connection_but_not_server():
+    async def scenario():
+        graph = chain_graph(10)
+        with ReachabilityService(graph, num_workers=2) as service:
+            async with serving(service) as server:
+                # Garbage header: an absurd frame length.
+                reader, writer = await asyncio.open_connection(
+                    *server.address
+                )
+                writer.write(b"\xff\xff\xff\xff")
+                await writer.drain()
+                assert await reader.read() == b""  # server hangs up
+                writer.close()
+                # The server survives and keeps serving.
+                async with await ReachabilityClient.open(
+                    *server.address
+                ) as client:
+                    assert (await client.query(0, 10)).answer
+                assert server.counters["net_protocol_errors"] == 1
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Replication
+# ----------------------------------------------------------------------
+def test_replica_follows_primary_and_serves_at_watermark(tmp_path):
+    async def scenario():
+        graph = chain_graph()
+        with ReachabilityService(
+            graph, num_workers=2, journal=tmp_path / "primary.wal"
+        ) as service:
+            async with serving(service) as server:
+                node = ReplicaNode(
+                    *server.address,
+                    tmp_path / "replica.wal",
+                    service_kwargs={"num_workers": 2},
+                )
+                replica_server = await node.serve()
+                runner = asyncio.create_task(node.run())
+                try:
+                    async with await ReachabilityClient.open(
+                        *server.address
+                    ) as client:
+                        for i in range(5):
+                            await client.add_edge(40, 5000 + i)
+                    await wait_until(
+                        lambda: node.watermark >= service.watermark
+                    )
+                    assert node.watermark == service.watermark
+                    assert node.service.graph == service.graph
+                    # Reads served by the replica are stamped with the
+                    # replication watermark.
+                    async with await ReachabilityClient.open(
+                        replica_server.host, replica_server.port
+                    ) as client:
+                        outcome = await client.query(0, 5004)
+                        assert outcome.answer
+                        assert outcome.version == node.watermark
+                finally:
+                    node.stop()
+                    await runner
+                    await node.close()
+
+    run(scenario())
+
+
+def test_replica_resumes_at_exact_watermark_after_reconnect(tmp_path):
+    async def scenario():
+        graph = chain_graph(10)
+        with ReachabilityService(
+            graph, num_workers=2, journal=tmp_path / "primary.wal"
+        ) as service:
+            server = ReachabilityServer(service, port=0)
+            await server.start()
+            port = server.port
+            node = ReplicaNode(
+                "127.0.0.1",
+                port,
+                tmp_path / "replica.wal",
+                service_kwargs={"num_workers": 2},
+                reconnect_delay_s=0.02,
+            )
+            runner = asyncio.create_task(node.run())
+            try:
+                service.add_edge(10, 600)
+                await wait_until(lambda: node.watermark >= service.watermark)
+                applied_before = node.records_applied
+                snapshots_before = node.snapshots_loaded
+                # Primary's server dies (service and journal survive).
+                await server.stop()
+                await wait_until(lambda: not node.connected)
+                service.add_edge(10, 601)  # lands while disconnected
+                # Server returns on the same port; replica resubscribes
+                # at its watermark.
+                server = ReachabilityServer(service, port=port)
+                await server.start()
+                await wait_until(lambda: node.watermark >= service.watermark)
+                assert node.service.graph == service.graph
+                # Exact resume: only the missed record was applied, the
+                # pre-disconnect ones were deduped by version stamp.
+                assert node.records_applied == applied_before + 1
+                # Resume used the journal stream, not a fresh snapshot.
+                assert node.snapshots_loaded == snapshots_before
+            finally:
+                node.stop()
+                await runner
+                await node.close()
+                await server.stop()
+
+    run(scenario())
+
+
+def test_replica_bootstraps_from_snapshot_after_compaction(tmp_path):
+    async def scenario():
+        graph = chain_graph(10)
+        with ReachabilityService(
+            graph, num_workers=2, journal=tmp_path / "primary.wal"
+        ) as service:
+            service.add_edge(10, 700)
+            # Compaction discards the records a fresh replica would need:
+            # its subscribe(after=0) must fall back to a full snapshot.
+            service.journal.checkpoint(service.graph, tmp_path / "p.ckpt")
+            async with serving(service) as server:
+                node = ReplicaNode(
+                    *server.address,
+                    tmp_path / "replica.wal",
+                    service_kwargs={"num_workers": 2},
+                )
+                runner = asyncio.create_task(node.run())
+                try:
+                    await wait_until(
+                        lambda: node.watermark >= service.watermark
+                    )
+                    assert node.snapshots_loaded == 1
+                    assert node.service.graph == service.graph
+                    # The stream continues past the snapshot.
+                    service.add_edge(10, 701)
+                    await wait_until(
+                        lambda: node.watermark >= service.watermark
+                    )
+                    assert node.service.graph == service.graph
+                finally:
+                    node.stop()
+                    await runner
+                    await node.close()
+
+    run(scenario())
+
+
+def test_replica_survives_primary_compaction_mid_stream(tmp_path):
+    async def scenario():
+        graph = chain_graph(10)
+        with ReachabilityService(
+            graph, num_workers=2, journal=tmp_path / "primary.wal"
+        ) as service:
+            async with serving(service) as server:
+                node = ReplicaNode(
+                    *server.address,
+                    tmp_path / "replica.wal",
+                    service_kwargs={"num_workers": 2},
+                )
+                runner = asyncio.create_task(node.run())
+                try:
+                    service.add_edge(10, 800)
+                    await wait_until(
+                        lambda: node.watermark >= service.watermark
+                    )
+                    snapshots_before = node.snapshots_loaded
+                    # Compact while the feed is live; the tailer follows
+                    # the rename without a gap (it is fully caught up).
+                    service.journal.checkpoint(
+                        service.graph, tmp_path / "p.ckpt"
+                    )
+                    service.add_edge(10, 801)
+                    await wait_until(
+                        lambda: node.watermark >= service.watermark
+                    )
+                    assert node.service.graph == service.graph
+                    # A caught-up tailer follows the rename; no snapshot.
+                    assert node.snapshots_loaded == snapshots_before
+                finally:
+                    node.stop()
+                    await runner
+                    await node.close()
+
+    run(scenario())
+
+
+def test_promote_after_primary_death_matches_bfs_oracle(tmp_path):
+    """Kill-the-primary failover: the replica promotes through
+    ``recover()`` on its local journal and answers exactly at its
+    watermark — zero mismatches against a BFS oracle."""
+
+    async def scenario():
+        graph = chain_graph(20)
+        service = ReachabilityService(
+            graph, num_workers=2, journal=tmp_path / "primary.wal"
+        )
+        server = await ReachabilityServer(service, port=0).start()
+        node = ReplicaNode(
+            *server.address,
+            tmp_path / "replica.wal",
+            service_kwargs={"num_workers": 2},
+        )
+        runner = asyncio.create_task(node.run())
+        async with await ReachabilityClient.open(*server.address) as client:
+            for i in range(10):
+                await client.add_edge(20, 900 + i)
+            await client.remove_edge(0, 1)
+        await wait_until(lambda: node.watermark >= service.watermark)
+        node.stop()
+        await runner
+        # Abrupt primary death; the replica's local journal is now the
+        # only authority.
+        await server.stop()
+        oracle = service.graph.copy()
+        watermark = node.watermark
+        service.close()
+        promoted = node.promote()
+        try:
+            assert node.promoted
+            assert promoted.watermark == watermark == oracle.version
+            pairs = [(0, 909), (2, 909), (0, 1), (1, 20), (20, 905)]
+            pairs += [(i, 20) for i in range(0, 20, 3)]
+            mismatches = [
+                (s, t)
+                for s, t in pairs
+                if promoted.query(s, t).answer != is_reachable_bfs(oracle, s, t)
+            ]
+            assert mismatches == []
+            # The promoted node accepts writes again.
+            effect = promoted.add_edge(909, 0)
+            assert effect.changed
+        finally:
+            await node.close()
+
+    run(scenario())
+
+
+def test_promoted_replica_server_flips_writable(tmp_path):
+    async def scenario():
+        graph = chain_graph(10)
+        with ReachabilityService(
+            graph, num_workers=2, journal=tmp_path / "primary.wal"
+        ) as service:
+            server = await ReachabilityServer(service, port=0).start()
+            node = ReplicaNode(
+                *server.address,
+                tmp_path / "replica.wal",
+                service_kwargs={"num_workers": 2},
+            )
+            replica_server = await node.serve()
+            runner = asyncio.create_task(node.run())
+            await wait_until(lambda: node.watermark >= service.watermark)
+            node.stop()
+            await runner
+            await server.stop()
+        node.promote()
+        try:
+            async with await ReachabilityClient.open(
+                replica_server.host, replica_server.port
+            ) as client:
+                assert (await client.ping())["role"] == "primary"
+                applied = await client.add_edge(10, 999)
+                assert applied["applied"]
+                assert (await client.query(0, 999)).answer
+        finally:
+            await node.close()
+
+    run(scenario())

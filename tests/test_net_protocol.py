@@ -1,0 +1,105 @@
+"""Wire framing: length-prefixed JSON frames and outcome codecs."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net import protocol
+from repro.service.engine import QueryOutcome
+
+
+def _reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes):
+    async def go():
+        return await protocol.read_frame(_reader_with(data))
+
+    return asyncio.run(go())
+
+
+def test_encode_read_roundtrip():
+    message = {"type": "query", "id": 7, "s": 1, "t": 2}
+    assert _read(protocol.encode(message)) == message
+
+
+def test_multiple_frames_in_one_stream():
+    frames = [{"type": "ping", "id": i} for i in range(3)]
+    data = b"".join(protocol.encode(f) for f in frames)
+
+    async def go():
+        reader = _reader_with(data)
+        out = []
+        while True:
+            frame = await protocol.read_frame(reader)
+            if frame is None:
+                break
+            out.append(frame)
+        return out
+
+    assert asyncio.run(go()) == frames
+
+
+def test_clean_eof_between_frames_is_none():
+    assert _read(b"") is None
+
+
+def test_eof_inside_header_raises():
+    with pytest.raises(protocol.ProtocolError):
+        _read(protocol.encode({"type": "ping"})[:2])
+
+
+def test_eof_inside_body_raises():
+    frame = protocol.encode({"type": "ping", "id": 1})
+    with pytest.raises(protocol.ProtocolError):
+        _read(frame[:-3])
+
+
+def test_oversized_frame_rejected_without_reading_body():
+    header = (protocol.MAX_FRAME + 1).to_bytes(4, "big")
+    with pytest.raises(protocol.ProtocolError):
+        _read(header)
+
+
+def test_undecodable_body_raises():
+    body = b"{not json}"
+    with pytest.raises(protocol.ProtocolError):
+        _read(len(body).to_bytes(4, "big") + body)
+
+
+def test_non_object_body_raises():
+    body = b"[1,2,3]"
+    with pytest.raises(protocol.ProtocolError):
+        _read(len(body).to_bytes(4, "big") + body)
+
+
+def test_binary_safe_payloads():
+    message = {"type": "query", "note": "newlines\nand é漢"}
+    assert _read(protocol.encode(message)) == message
+
+
+def test_outcome_wire_roundtrip():
+    outcome = QueryOutcome(3, 9, True, True, "engine", 42, "detail-text")
+    wire = protocol.outcome_to_wire(outcome)
+    assert wire["s"] == 3 and wire["version"] == 42
+    assert "retry_after_ms" not in wire
+    back = protocol.outcome_from_wire(wire)
+    assert back == outcome
+
+
+def test_outcome_wire_roundtrip_shed_with_retry_hint():
+    outcome = QueryOutcome(
+        1, 2, False, False, "shed", 7, "retry-after-ms=12", retry_after_ms=12
+    )
+    wire = protocol.outcome_to_wire(outcome)
+    assert wire["retry_after_ms"] == 12
+    back = protocol.outcome_from_wire(wire)
+    assert back.retry_after_ms == 12
+    assert back == outcome
