@@ -255,6 +255,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="execution path for batched replay (see query-batch)",
     )
+    sb.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="deploy this many shared-memory shard-worker processes and "
+        "route batched queries through the scatter–gather router "
+        "(0/1 = single-process serving)",
+    )
+    sb.add_argument(
+        "--shard-locality",
+        type=float,
+        default=0.0,
+        help="probability a generated query's endpoints are redrawn into "
+        "the same shard (shard-skew knob; needs --shards >= 2 and a "
+        "generated workload)",
+    )
     sb.set_defaults(func=cmd_serve_bench)
 
     sv = sub.add_parser(
@@ -296,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sv.add_argument(
         "--kernels", action=argparse.BooleanOptionalAction, default=True
+    )
+    sv.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="deploy this many shared-memory shard-worker processes "
+        "behind the coalesced batch path (0/1 = single-process)",
     )
     sv.add_argument("--seed", type=int, default=0)
     sv.add_argument(
@@ -559,6 +582,14 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
 
     graph = read_edge_list(args.graph)
+    shard_of = None
+    if args.shards >= 2 and args.shard_locality > 0.0 and not args.workload:
+        from repro.shard import partition_graph
+
+        # Pure analysis (no worker fleet): the same partition the serving
+        # router will deploy, so the locality knob biases toward genuine
+        # intra-shard traffic.
+        shard_of = partition_graph(graph, args.shards).shard_of
     if args.workload:
         ops = load_workload(args.workload)
     else:
@@ -569,6 +600,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             skew=args.skew,
             pair_pool=args.pair_pool,
             batch_size=args.batch_size,
+            shard_of=shard_of,
+            shard_locality=args.shard_locality,
             seed=args.seed,
         )
     if args.save_workload:
@@ -578,7 +611,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"replaying {len(ops)} ops ({queries} queries, {inserts} inserts, "
         f"{deletes} deletes) on n={graph.num_vertices} m={graph.num_edges} "
         f"with {args.workers} workers "
-        f"(csr kernels {'on' if args.kernels else 'off'})"
+        f"(csr kernels {'on' if args.kernels else 'off'}, "
+        f"shards={args.shards or 'off'})"
     )
     deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
     with ReachabilityService(
@@ -593,6 +627,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         csr_freeze_threshold=args.freeze_threshold,
         journal=args.journal,
         max_pending=args.max_pending,
+        shards=args.shards,
     ) as service:
         result = replay_workload(
             service,
@@ -634,6 +669,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             use_kernels=args.kernels,
             journal=args.journal,
             max_pending=args.max_pending,
+            shards=args.shards,
         ) as service:
             server = ReachabilityServer(
                 service,
@@ -648,7 +684,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"serving n={graph.num_vertices} m={graph.num_edges} on "
                 f"{server.host}:{server.port} "
                 f"(coalesce={'on' if args.coalesce else 'off'}, "
-                f"journal={args.journal or 'none'})",
+                f"journal={args.journal or 'none'}, "
+                f"shards={args.shards or 'off'})",
                 flush=True,
             )
             try:

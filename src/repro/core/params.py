@@ -78,6 +78,13 @@ class IFCAParams:
     #: deadline adherence at the price of a clock read per interval;
     #: irrelevant when queries carry no budget.
     budget_check_interval: int = 256
+    #: Shard-worker fan-out the *serving* layer should deploy for this
+    #: configuration (:mod:`repro.shard`): 0/1 = single-process serving,
+    #: K >= 2 = K shared-memory shard workers behind the scatter–gather
+    #: router. The engine itself ignores it — it is carried here so one
+    #: params object can describe a full deployment and flow through
+    #: config pipelines alongside the query-time tunables.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -100,6 +107,8 @@ class IFCAParams:
             raise ValueError("max_rounds must be positive")
         if self.budget_check_interval <= 0:
             raise ValueError("budget_check_interval must be positive")
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative")
 
     def with_overrides(self, **kwargs: object) -> "IFCAParams":
         """A copy with some fields replaced (frozen-dataclass convenience)."""

@@ -51,8 +51,9 @@ path (the serving engine does this in ``query_batch``).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.budget import Budget
 from repro.graph.kernels import HAVE_NUMPY, _gather, _maybe_fault, np
@@ -79,17 +80,27 @@ def _sweep_targets(csr: "CSRSnapshot"):
     snapshot itself: snapshots are immutable and shared across the many
     waves of a batch, while this module may see a different snapshot
     after every update epoch.
+
+    The cache entry is keyed by ``(segment_token, pid)`` rather than bare
+    object identity: a snapshot that crosses a fork (or is rebuilt from a
+    shared-memory segment in a spawned worker) carries the parent's cached
+    attribute with it, and the worker must rebuild its own copies instead
+    of trusting a view whose token belongs to another process's epoch.
     """
-    cached = getattr(csr, "_bit_targets_u16", None)
-    if cached is not None:
-        return cached
+    token = (getattr(csr, "segment_token", None), os.getpid())
+    state = getattr(csr, "_bit_targets_state", None)
+    if state is not None and state[0] == token:
+        return state[1]
     if csr.num_vertices > int(np.iinfo(np.uint16).max):
         return csr.out_targets, csr.in_targets
     cached = (
         csr.out_targets.astype(np.uint16),
         csr.in_targets.astype(np.uint16),
     )
-    csr._bit_targets_u16 = cached
+    try:
+        csr._bit_targets_state = (token, cached)
+    except AttributeError:  # pragma: no cover - frozen/slots snapshot stand-in
+        pass
     return cached
 
 
@@ -493,3 +504,100 @@ def csr_bit_bibfs(
     answers = (result[lane_word] & lane_bit) != 0
     stats = BitSweepStats(lanes, words, layers, accesses, compactions)
     return [bool(a) for a in answers], stats
+
+
+def csr_bit_reach(
+    csr: "CSRSnapshot",
+    seeds: Iterable[Tuple[int, int]],
+    probes: Iterable[int],
+    *,
+    forward: bool = True,
+    budget: Optional[Budget] = None,
+) -> Tuple[Dict[int, int], BitSweepStats]:
+    """Bit-parallel multi-source closure with per-lane seed masks.
+
+    ``seeds`` are ``(vertex_id, lane_mask)`` pairs: bit ``q`` of a mask
+    marks the vertex as a source for lane ``q`` (one uint64 word, so at
+    most 64 lanes). The sweep runs the *one-sided* closure — forward along
+    out-edges when ``forward``, along in-edges otherwise — to fixpoint,
+    then reports ``{probe_id: mask}`` for every probe vertex whose label
+    is non-zero. This is the shard worker's scatter–gather primitive: the
+    router seeds a shard's entry vertices, probes its boundary vertices
+    plus any in-shard query targets, and joins the returned masks across
+    shards through the condensation DAG.
+
+    The closure is additive over seed sets (``reach(A ∪ B) = reach(A) ∪
+    reach(B)``), so a router re-entering a shard in a later round only
+    needs to send seeds it has not sent before — workers keep no state
+    between calls. All seed and probe vertices must exist in the snapshot
+    (``KeyError`` otherwise). Budget semantics match
+    :func:`csr_bit_bibfs`: checkpoints at layer boundaries, nothing kept
+    on :class:`~repro.core.budget.BudgetExceeded`.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("bit-parallel kernels require numpy")
+    _maybe_fault("csr_bit_reach")
+
+    seed_list = [(csr.index_of(v), m) for v, m in seeds if m]
+    probe_list = list(probes)
+    n = csr.num_vertices
+    label = np.zeros(n, dtype=np.uint64)
+    if seed_list:
+        idx = np.asarray([i for i, _ in seed_list], dtype=np.int64)
+        masks = np.asarray([m for _, m in seed_list], dtype=np.uint64)
+        np.bitwise_or.at(label, idx, masks)
+        frontier = np.unique(idx)
+        delta = label[frontier]
+    else:
+        frontier = np.empty(0, dtype=np.int64)
+        delta = label[frontier]
+
+    lanes = int(np.bitwise_or.reduce(delta)).bit_count() if len(delta) else 0
+    offsets = csr.out_offsets if forward else csr.in_offsets
+    out_tgt, in_tgt = _sweep_targets(csr)
+    targets = out_tgt if forward else in_tgt
+
+    layers = 0
+    accesses = 0
+    charged = 0
+    while len(frontier):
+        if budget is not None:
+            budget.checkpoint(accesses - charged)
+            charged = accesses
+        layers += 1
+        counts = offsets[frontier + 1] - offsets[frontier]
+        recv = _gather(offsets, targets, frontier)
+        accesses += len(recv)
+        if len(recv) == 0:
+            break
+        edge_src = np.repeat(np.arange(len(frontier), dtype=np.int32), counts)
+        order = np.argsort(recv, kind="stable")
+        sorted_recv = recv[order]
+        sorted_contrib = np.take(delta, edge_src[order])
+        head = np.empty(len(sorted_recv), dtype=bool)
+        head[0] = True
+        np.not_equal(sorted_recv[1:], sorted_recv[:-1], out=head[1:])
+        bounds = np.flatnonzero(head)
+        rows = sorted_recv[bounds]
+        merged = np.bitwise_or.reduceat(sorted_contrib, bounds)
+        seen = np.take(label, rows)
+        new_bits = merged & ~seen
+        gained = new_bits != 0
+        if not gained.all():
+            rows, new_bits = rows[gained], new_bits[gained]
+            seen = seen[gained]
+        if len(rows):
+            label[rows] = seen | new_bits
+        frontier = rows.astype(np.int64)
+        delta = new_bits
+
+    if budget is not None:
+        budget.checkpoint(accesses - charged)
+
+    out: Dict[int, int] = {}
+    for v in probe_list:
+        mask = int(label[csr.index_of(v)])
+        if mask:
+            out[v] = mask
+    stats = BitSweepStats(lanes, 1, layers, accesses, 0)
+    return out, stats

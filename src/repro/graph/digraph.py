@@ -16,6 +16,7 @@ graph model.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 
@@ -46,7 +47,7 @@ class DynamicDiGraph:
         self._edge_set: Set[Tuple[int, int]] = set()
         self._num_edges = 0
         self._version = 0
-        self._csr_state: Optional[Tuple[int, object]] = None
+        self._csr_state: Optional[Tuple[int, int, object]] = None
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -230,15 +231,26 @@ class DynamicDiGraph:
 
         if not kernels.kernels_enabled():
             return None
+        # Keyed by (version, pid): a snapshot frozen before a fork belongs
+        # to the parent's address-space segment, and its own version-keyed
+        # side caches (narrow-target tables, degree tables) key by
+        # segment_token — a child process serving it would mix parent-era
+        # tokens with child-era rebuilds. The pid guard makes every forked
+        # or spawned worker rebuild (or attach) its own segment instead of
+        # inheriting a stale view.
         state = self._csr_state
-        if state is not None and state[0] == self._version:
-            return state[1]
+        if (
+            state is not None
+            and state[0] == self._version
+            and state[1] == os.getpid()
+        ):
+            return state[2]
         if not build:
             return None
         from repro.graph.snapshot import CSRSnapshot
 
         snapshot = CSRSnapshot.freeze(self)
-        self._csr_state = (self._version, snapshot)
+        self._csr_state = (self._version, os.getpid(), snapshot)
         return snapshot
 
     def out_degree(self, v: int) -> int:

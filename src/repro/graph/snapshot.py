@@ -16,7 +16,7 @@ lookup table, so graphs with sparse id spaces freeze without waste.
 from __future__ import annotations
 
 import os
-from itertools import chain
+from itertools import chain, count
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
@@ -27,6 +27,22 @@ import numpy as np
 from repro.graph.digraph import DynamicDiGraph
 
 PathLike = Union[str, Path]
+
+#: Array attributes in canonical manifest order.
+ARRAY_FIELDS = (
+    "vertex_ids",
+    "out_offsets",
+    "out_targets",
+    "in_offsets",
+    "in_targets",
+)
+
+#: Process-local counter feeding :attr:`CSRSnapshot.segment_token`.
+_SEGMENT_IDS = count(1)
+
+#: Buffer offsets are rounded up to this alignment so zero-copy views
+#: satisfy any dtype's alignment requirement.
+_ALIGN = 16
 
 
 class CSRSnapshot:
@@ -56,6 +72,13 @@ class CSRSnapshot:
         self._ids_sorted = bool(
             len(vertex_ids) < 2 or np.all(np.diff(vertex_ids) > 0)
         )
+        # (pid, serial): identifies *this materialization in this process*.
+        # Version-keyed caches that key by snapshot contents or object
+        # identity go stale across fork/spawn — a child inheriting the
+        # parent's cache entry must rebuild, and a shared-memory attach in
+        # a worker must never collide with the primary's entry. Keying by
+        # segment_token makes both cases distinct by construction.
+        self.segment_token: Tuple[int, int] = (os.getpid(), next(_SEGMENT_IDS))
 
     # ------------------------------------------------------------------
     # Construction
@@ -170,6 +193,89 @@ class CSRSnapshot:
             u = int(ids[i])
             for k in range(int(self.out_offsets[i]), int(self.out_offsets[i + 1])):
                 yield (u, int(ids[self.out_targets[k]]))
+
+    # ------------------------------------------------------------------
+    # Raw-buffer round trip (shared-memory publish / attach)
+    # ------------------------------------------------------------------
+    def to_buffers(self) -> Tuple[Dict[str, object], List[np.ndarray]]:
+        """``(manifest, arrays)`` describing a flat byte layout.
+
+        The manifest records, per array field, its dtype string, shape,
+        byte offset, and byte length inside one contiguous buffer of
+        ``manifest["total_bytes"]`` bytes (offsets are 16-byte aligned).
+        It is plain JSON-able data, so it can travel over a pipe to a
+        worker process while the bytes travel through
+        ``multiprocessing.shared_memory``. ``arrays`` are the C-contiguous
+        sources in manifest order, ready for :meth:`pack_into`.
+        """
+        fields: List[Dict[str, object]] = []
+        arrays: List[np.ndarray] = []
+        offset = 0
+        for name in ARRAY_FIELDS:
+            arr = np.ascontiguousarray(getattr(self, name))
+            offset = -(-offset // _ALIGN) * _ALIGN
+            fields.append(
+                {
+                    "name": name,
+                    "dtype": arr.dtype.str,
+                    "shape": list(arr.shape),
+                    "offset": offset,
+                    "nbytes": arr.nbytes,
+                }
+            )
+            arrays.append(arr)
+            offset += arr.nbytes
+        # SharedMemory refuses zero-size segments; an empty snapshot still
+        # needs one byte of backing store.
+        manifest = {"fields": fields, "total_bytes": max(offset, 1)}
+        return manifest, arrays
+
+    def pack_into(self, buffer) -> Dict[str, object]:
+        """Copy all arrays into ``buffer`` (writable, bytes-like) at the
+        offsets of a fresh manifest; returns that manifest."""
+        manifest, arrays = self.to_buffers()
+        view = memoryview(buffer)
+        if len(view) < int(manifest["total_bytes"]):
+            raise ValueError(
+                f"buffer holds {len(view)} bytes, need {manifest['total_bytes']}"
+            )
+        for field, arr in zip(manifest["fields"], arrays):
+            if arr.nbytes == 0:
+                continue
+            dest = np.frombuffer(
+                view, dtype=arr.dtype, count=arr.size, offset=int(field["offset"])
+            )
+            # frombuffer views of read-only buffers can't be assigned to;
+            # pack_into requires a writable buffer by contract.
+            dest[...] = arr.ravel()
+        return manifest
+
+    @classmethod
+    def from_buffers(cls, manifest: Dict[str, object], buffer) -> "CSRSnapshot":
+        """Rebuild a snapshot from a manifest + raw buffer, zero-copy.
+
+        The arrays become read-only views into ``buffer`` — nothing is
+        re-canonicalized, re-sorted, or copied, so attaching a published
+        segment in a worker costs O(n) only for the id-lookup dict the
+        read API needs. The caller must keep ``buffer`` (and whatever owns
+        it, e.g. the ``SharedMemory`` handle) alive as long as the
+        snapshot is in use.
+        """
+        view = memoryview(buffer)
+        parts: Dict[str, np.ndarray] = {}
+        for field in manifest["fields"]:  # type: ignore[index]
+            dtype = np.dtype(field["dtype"])
+            shape = tuple(field["shape"])
+            size = 1
+            for dim in shape:
+                size *= dim
+            arr = np.frombuffer(
+                view, dtype=dtype, count=size, offset=int(field["offset"])
+            ).reshape(shape)
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+            parts[str(field["name"])] = arr
+        return cls(*(parts[name] for name in ARRAY_FIELDS))
 
     # ------------------------------------------------------------------
     # Persistence

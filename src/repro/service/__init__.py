@@ -10,11 +10,17 @@ load shedding, and an optional write-ahead update journal. See
 ``docs/service.md``.
 """
 
-from repro.service.batcher import BatchCostModel, BatchPlan, Wave, plan_batch
+from repro.service.batcher import (
+    BatchCostModel,
+    BatchPlan,
+    Wave,
+    pack_waves,
+    plan_batch,
+)
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock, ServiceTimeout
 from repro.service.driver import ReplayResult, replay_workload
-from repro.service.engine import QueryOutcome, ReachabilityService
+from repro.service.engine import QueryOutcome, QueryPlan, ReachabilityService
 from repro.service.fastpath import FastPathPruner, UpdateEffect
 from repro.service.faults import (
     NAMED_PLANS,
@@ -39,6 +45,7 @@ __all__ = [
     "InjectedFault",
     "NAMED_PLANS",
     "QueryOutcome",
+    "QueryPlan",
     "RWLock",
     "ReachabilityService",
     "ReplayResult",
@@ -49,6 +56,7 @@ __all__ = [
     "VersionedQueryCache",
     "Wave",
     "format_stats_table",
+    "pack_waves",
     "plan_batch",
     "plan_by_name",
     "replay_workload",

@@ -136,13 +136,33 @@ def plan_batch(
             continue
         plan.pending.append(pair)
 
-    # Endpoint-sorted packing: pairs sharing a source (then target) sit in
-    # adjacent lanes, so their bits share words and frontier rows.
-    plan.pending.sort()
-    for start in range(0, len(plan.pending), max_wave_lanes):
-        chunk = plan.pending[start : start + max_wave_lanes]
-        plan.waves.append(Wave(chunk, _wave_lead(graph, chunk)))
+    plan.pending, plan.waves = pack_waves(
+        plan.pending, graph=graph, max_wave_lanes=max_wave_lanes
+    )
     return plan
+
+
+def pack_waves(
+    pairs: Sequence[Pair],
+    *,
+    graph: DynamicDiGraph,
+    max_wave_lanes: int = 64,
+) -> Tuple[List[Pair], List[Wave]]:
+    """Pack an already-filtered pair list into kernel waves.
+
+    Endpoint-sorted packing: pairs sharing a source (then target) sit in
+    adjacent lanes, so their bits share words and frontier rows. Returns
+    the sorted pending list and the waves covering exactly that list —
+    the tail of :func:`plan_batch`, exposed separately so callers that
+    thin a planned batch (the shard router resolving most of it) can
+    repack the survivors under the same discipline.
+    """
+    pending = sorted(pairs)
+    waves = []
+    for start in range(0, len(pending), max_wave_lanes):
+        chunk = pending[start : start + max_wave_lanes]
+        waves.append(Wave(chunk, _wave_lead(graph, chunk)))
+    return pending, waves
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,35 @@ pipeline:
    (a meet, or a frontier exhausted) the answer is still exact; only a
    budget overrun returns the approximate best guess ``confident=False``.
 
+Plan / execute split
+--------------------
+Each query runs in two steps under one read-lock hold. *Planning*
+(:meth:`ReachabilityService._plan_query`) performs everything that needs
+the coherent snapshot but no search: the fast-path verdict, the cache
+probe, the deadline pre-check, the on-demand CSR freeze, and the budget
+construction. It returns an immutable :class:`QueryPlan` naming one of
+three actions. *Execution* dispatches the plan through a flat executor
+table — resolved plans just unwrap their outcome; engine plans run the
+search (breaker + fallback ladder included); degraded plans go straight
+to the bounded search. Batch serving reuses the same split: the batch
+planner resolves what it can, and the surviving pairs execute as shard
+routes, bit-parallel waves, or scalar pipeline runs.
+
+Sharded serving (``shards=K``)
+------------------------------
+With ``shards >= 2`` (and kernels available) the service lazily deploys
+a :class:`~repro.shard.router.ShardRouter`: the graph is partitioned
+along its SCC condensation into K shared-memory CSR shards, each owned
+by a spawned worker process, and batch queries route through O(1)
+partition verdicts, intra-shard worker waves, and cross-shard
+scatter–gather joins before anything falls back to the local pipeline.
+Routing is strictly an accelerator: pairs the router cannot answer
+(worker death, budget, stale epoch) re-enter the single-process ladder,
+so a degraded fleet degrades throughput, never availability. The fleet
+re-anchors to a new graph epoch after ``shard_refresh_threshold``
+batches arrive at the newer version (repartitioning is seconds-scale, so
+it is amortized exactly like the CSR freeze threshold).
+
 Fault tolerance (the containment ladder)
 ----------------------------------------
 Every stage is allowed to fail without failing the query:
@@ -70,12 +99,13 @@ from repro.graph import kernels
 from repro.graph.bitsearch import csr_bit_bibfs
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.journal import JournalReplayError, UpdateJournal
-from repro.service.batcher import BatchCostModel, plan_batch
+from repro.service.batcher import BatchCostModel, CacheFn, plan_batch
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock
 from repro.service.fastpath import FastPathPruner, UpdateEffect
 from repro.service.faults import CircuitBreaker, FaultInjector, FaultPlan, StagePolicy
 from repro.service.stats import ServiceStats
+from repro.shard import ShardRouter
 
 
 @dataclass(frozen=True)
@@ -106,6 +136,39 @@ class QueryOutcome:
     #: set on ``via="shed"`` / ``"shed-dedup"`` outcomes — clients and the
     #: wire protocol read this field, not the ``detail`` string.
     retry_after_ms: Optional[int] = None
+
+
+#: :class:`QueryPlan` actions — the complete executor dispatch domain.
+PLAN_RESOLVED = "resolved"
+PLAN_DEGRADED = "degraded"
+PLAN_ENGINE = "engine"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One query's decided course of action, fixed under the read lock.
+
+    Planning is the half of the pipeline that needs the coherent
+    snapshot but runs no search: fast-path observation, cache probe,
+    deadline pre-check, CSR freeze-on-demand, and budget construction.
+    The plan is immutable; executors
+    (:attr:`ReachabilityService._EXECUTORS`) consume it statelessly, so
+    the same plan object could be replayed or shipped to another
+    executor without re-deriving any verdict.
+    """
+
+    source: int
+    target: int
+    #: Graph version the plan (and any resolved outcome) is exact for.
+    version: int
+    #: ``"resolved"`` | ``"degraded"`` | ``"engine"``.
+    action: str
+    #: The finished outcome, for ``action="resolved"`` plans only.
+    outcome: Optional[QueryOutcome] = None
+    #: The engine stage's cooperative budget (``action="engine"``).
+    budget: Optional[Budget] = None
+    #: Why a ``"degraded"`` plan skipped the engine (detail prefix).
+    why: str = ""
 
 
 _DEFAULT_POLICY = StagePolicy()
@@ -173,6 +236,22 @@ class ReachabilityService:
     batch_cost_model:
         The :class:`~repro.service.batcher.BatchCostModel` behind the
         ``strategy="auto"`` scalar/bit-parallel cutover.
+    shards:
+        Deploy a :class:`~repro.shard.router.ShardRouter` of this many
+        shared-memory shard-worker processes and route batch queries
+        through it before the local bit/scalar ladder. ``0``/``1`` (or
+        kernels unavailable) keeps single-process serving; the router is
+        built lazily on the first routed batch and torn down by
+        :meth:`close`. Worker failures are contained: unrouted pairs
+        fall back to the local pipeline.
+    shard_refresh_threshold:
+        Batches that must arrive at a *newer* graph version before the
+        shard fleet repartitions and re-anchors there (repartitioning is
+        expensive, so epochs are amortized like CSR freezes). Until the
+        refresh, batches on the new version simply skip the router.
+    shard_call_timeout_s:
+        Per-message worker round-trip timeout; a worker that exceeds it
+        is declared dead and its pairs fall back locally.
     fallback_factory:
         Builds the engine-stage fallback method (default: a dict-substrate
         ``IFCAMethod`` with all kernels off — deliberately not sharing the
@@ -206,6 +285,9 @@ class ReachabilityService:
         breaker_probe_s: float = 0.25,
         batch_wave_lanes: int = 64,
         batch_cost_model: Optional[BatchCostModel] = None,
+        shards: int = 0,
+        shard_refresh_threshold: int = 8,
+        shard_call_timeout_s: float = 30.0,
         fallback_factory: Optional[
             Callable[[DynamicDiGraph], ReachabilityMethod]
         ] = None,
@@ -215,7 +297,7 @@ class ReachabilityService:
             factory = method_factory
         else:
             factory = lambda g: IFCAMethod(  # noqa: E731
-                g, IFCAParams(use_push_kernels=push_kernels)
+                g, IFCAParams(use_push_kernels=push_kernels, shards=shards)
             )
         self.method = factory(self.graph)
         if fallback_factory is None:
@@ -254,6 +336,15 @@ class ReachabilityService:
         self._csr_threshold = max(1, csr_freeze_threshold)
         self._csr_demand = 0
         self._csr_demand_version = -1
+
+        self._shards = max(0, int(shards))
+        self._shard_refresh_threshold = max(1, shard_refresh_threshold)
+        self._shard_call_timeout_s = shard_call_timeout_s
+        self._router: Optional["ShardRouter"] = None
+        self._router_lock = threading.Lock()
+        self._router_demand = 0
+        self._router_demand_version = -1
+        self._router_failures = 0
 
         self._policies = dict(stage_policies) if stage_policies else {}
         self._breaker = CircuitBreaker(breaker_failures, breaker_probe_s)
@@ -318,6 +409,10 @@ class ReachabilityService:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        with self._router_lock:
+            if self._router is not None:
+                self._router.close()
+                self._router = None
         if self._kernel_hook_armed:
             kernels.set_fault_hook(self._prev_kernel_hook)
             self._kernel_hook_armed = False
@@ -682,9 +777,12 @@ class ReachabilityService:
     ) -> List[QueryOutcome]:
         """Pre-filter the batch, then sweep survivors in kernel waves.
 
-        Runs under one read lock: plan (dedup + fast path + cache), then
-        one :func:`~repro.graph.bitsearch.csr_bit_bibfs` call per wave on
-        the version's CSR snapshot. Pairs the kernel cannot answer — the
+        Runs under one read lock. With sharding on, the batch routes
+        through the shard fleet *before* the per-pair prefilter (dedup +
+        cache probe, then one scatter–gather round trip); whatever the
+        fleet leaves behind takes the classic plan (dedup + fast path +
+        cache), then one :func:`~repro.graph.bitsearch.csr_bit_bibfs`
+        call per wave on the version's CSR snapshot. Pairs the kernel cannot answer — the
         auto cutover chose scalar, the snapshot would not freeze, a wave
         failed (breaker-counted), or the budget expired mid-batch — are
         rerouted through the per-query pipeline *after* the lock is
@@ -726,12 +824,82 @@ class ReachabilityService:
                     self._fire(stage)
                 except Exception:
                     self._stats.incr(f"stage_errors_{stage}")
+            survivors: Sequence[Tuple[int, int]] = queries
+            probe_cache: Optional[CacheFn] = prefilter_cache_get
+            if self._shards >= 2:
+                # Route-before-prefilter: the fleet's rule ladder answers
+                # most of a batch straight from the shard plan's summaries
+                # (dict lookups) and contains the rest in shard-local
+                # waves, so the per-pair Python prefilter would cost more
+                # than everything it skips. Only the cache screens pairs
+                # first — one dict probe each — because a routed "wave"
+                # pair would otherwise re-run its search on every
+                # recurrence under skewed traffic.
+                distinct = list(dict.fromkeys(queries))
+                self._stats.incr(
+                    "batched_dedup", len(queries) - len(distinct)
+                )
+                unseen = distinct
+                if len(self._cache):
+                    unseen = []
+                    hits = 0
+                    cache_get = self._cache.get
+                    try:
+                        for pair in distinct:
+                            cached = cache_get(pair[0], pair[1])
+                            if cached is None:
+                                unseen.append(pair)
+                                continue
+                            hits += 1
+                            outcomes[pair] = QueryOutcome(
+                                pair[0], pair[1], cached, True, "cache",
+                                version, "",
+                            )
+                    except Exception:
+                        # A broken cache degrades to "no hits" for the
+                        # rest of the batch, same as the scalar ladder.
+                        self._stats.incr("stage_errors_cache")
+                        unseen = [
+                            p for p in distinct if p not in outcomes
+                        ]
+                    if hits:
+                        self._stats.incr("cache_hits", hits)
+                        self._stats.incr("batch_prefilter_hits", hits)
+                        self._stats.incr("queries", hits)
+                routed = (
+                    self._route_shards(unseen, version, deadline)
+                    if unseen
+                    else {}
+                )
+                if routed:
+                    self._stats.incr("cache_misses", len(routed))
+                    self._stats.incr("queries", len(routed))
+                    searched = []
+                    for pair, (answer, how) in routed.items():
+                        outcomes[pair] = QueryOutcome(
+                            pair[0], pair[1], answer, True, "shard",
+                            version, how,
+                        )
+                        if how == "wave" or how == "cross":
+                            searched.append((pair, answer))
+                    # Only search verdicts earn a cache slot: a rule
+                    # verdict re-derives in O(1) on the next route, so
+                    # caching it would just evict entries that saved
+                    # real work.
+                    if searched:
+                        self._cache.put_many(
+                            searched, version, confident=True
+                        )
+                    survivors = [p for p in unseen if p not in routed]
+                else:
+                    survivors = unseen
+                probe_cache = None  # probed above; don't re-probe misses
             plan_start = time.perf_counter()
             plan = plan_batch(
-                queries,
+                survivors,
                 graph=self.graph,
                 check=prefilter_check,
-                cache_get=prefilter_cache_get,
+                cache_get=probe_cache,
                 max_wave_lanes=self._batch_wave_lanes,
             )
             self._stats.observe_latency(
@@ -749,12 +917,13 @@ class ReachabilityService:
                     pair[0], pair[1], answer, True, via, version, detail
                 )
             self._stats.incr("queries", len(plan.resolved))
-            if plan.pending:
-                self._stats.incr("cache_misses", len(plan.pending))
+            pending, waves = plan.pending, plan.waves
+            if pending:
+                self._stats.incr("cache_misses", len(pending))
                 use_bits = True
                 if strategy == "auto":
                     use_bits = self._batch_cost.prefer_bitparallel(
-                        len(plan.pending),
+                        len(pending),
                         self.graph.num_vertices,
                         self.graph.num_edges,
                         self._stats.stage_mean_seconds("engine"),
@@ -769,11 +938,11 @@ class ReachabilityService:
                     use_bits = False
                     self._stats.incr("batch_scalar_fallback")
                 if not use_bits:
-                    scalar_pairs.extend(plan.pending)
+                    scalar_pairs.extend(pending)
                 else:
                     budget = self._make_budget(deadline, self._policy("engine"))
                     exhausted = False
-                    for wave in plan.waves:
+                    for wave in waves:
                         if exhausted or self._breaker.state != "closed":
                             scalar_pairs.extend(wave.pairs)
                             continue
@@ -861,61 +1030,214 @@ class ReachabilityService:
             return None
 
     # ------------------------------------------------------------------
-    # The staged pipeline (runs under the read lock)
+    # Shard routing (runs under the batch read lock)
+    # ------------------------------------------------------------------
+    def _route_shards(
+        self,
+        pending: List[Tuple[int, int]],
+        version: int,
+        deadline: Optional[float],
+    ) -> Dict[Tuple[int, int], Tuple[bool, str]]:
+        """Route one batch's cache-missing pairs through the shard fleet.
+
+        Returns the router's exact verdicts (empty when sharding is off,
+        the fleet is anchored at another epoch, or the route failed).
+        Pairs the router could not answer are simply absent — the caller
+        keeps them on the local bit/scalar ladder, so a degraded fleet
+        costs throughput, never availability or exactness.
+        """
+        router = self._shard_router(version)
+        if router is None:
+            return {}
+        self._stats.incr("shard_batches")
+        start = time.perf_counter()
+        try:
+            self._fire("shard")
+            resolved, unresolved = router.execute_batch(
+                pending,
+                deadline=deadline,
+                edge_ceiling=self.engine_edge_budget,
+            )
+        except Exception:
+            self._stats.incr("stage_errors_shard")
+            return {}
+        self._stats.observe_latency("shard", time.perf_counter() - start)
+        if resolved:
+            self._stats.incr("shard_resolved", len(resolved))
+        if unresolved:
+            self._stats.incr("shard_unresolved", len(unresolved))
+        return resolved
+
+    def _shard_router(self, version: int) -> Optional["ShardRouter"]:
+        """The fleet anchored at ``version``, deploying/refreshing lazily.
+
+        The first routed batch pays the initial deploy; after updates the
+        fleet stays at its old epoch (batches skip it) until
+        ``shard_refresh_threshold`` batches have arrived at the newer
+        version, then one refresh re-anchors it. Two consecutive
+        deploy/refresh failures disable sharding for the service's
+        lifetime — the single-process path serves everything.
+        """
+        if (
+            self._shards < 2
+            or not self.use_kernels
+            or ShardRouter is None
+            or self._router_failures >= 2
+        ):
+            return None
+        with self._router_lock:
+            router = self._router
+            if router is not None and router.version == version:
+                return router
+            if self._router_demand_version != version:
+                self._router_demand_version = version
+                self._router_demand = 0
+            self._router_demand += 1
+            if (
+                router is not None
+                and self._router_demand < self._shard_refresh_threshold
+            ):
+                return None
+            start = time.perf_counter()
+            try:
+                self._fire("shard")
+                if router is None:
+                    self._router = ShardRouter(
+                        self.graph,
+                        self._shards,
+                        call_timeout_s=self._shard_call_timeout_s,
+                    )
+                else:
+                    router.refresh(self.graph)
+            except Exception:
+                self._stats.incr("stage_errors_shard")
+                self._router_failures += 1
+                if self._router_failures >= 2 and self._router is not None:
+                    self._router.close()
+                    self._router = None
+                return None
+            self._stats.observe_latency(
+                "shard_deploy", time.perf_counter() - start
+            )
+            self._stats.incr("shard_deploys")
+            self._router_failures = 0
+            return self._router
+
+    # ------------------------------------------------------------------
+    # The staged pipeline (runs under the read lock): plan, then execute
     # ------------------------------------------------------------------
     def _serve(
         self, source: int, target: int, deadline: Optional[float]
     ) -> QueryOutcome:
         self._stats.incr("queries")
         with self._lock.read:
-            version = self.graph.version
+            plan = self._plan_query(source, target, deadline)
+            return self._execute_plan(plan)
 
-            start = time.perf_counter()
-            try:
-                self._fire("fastpath")
-                self._pruner.observe_query()
-                observed = self._pruner.check(source, target)
-            except Exception:
-                self._stats.incr("stage_errors_fastpath")
-                observed = None
-            self._stats.observe_latency("fastpath", time.perf_counter() - start)
-            if observed is not None:
-                answer, rule = observed
-                self._stats.fastpath_hit(rule)
-                return QueryOutcome(
+    def _plan_query(
+        self, source: int, target: int, deadline: Optional[float]
+    ) -> QueryPlan:
+        """Decide one query's course of action under the read lock.
+
+        Everything snapshot-coherent but search-free happens here: the
+        fast-path observation, the cache probe, the deadline pre-check,
+        the on-demand CSR freeze, and the budget construction. Stage
+        errors fall through to the next stage (counted), exactly as the
+        pre-split inline ladder did.
+        """
+        version = self.graph.version
+
+        start = time.perf_counter()
+        try:
+            self._fire("fastpath")
+            self._pruner.observe_query()
+            observed = self._pruner.check(source, target)
+        except Exception:
+            self._stats.incr("stage_errors_fastpath")
+            observed = None
+        self._stats.observe_latency("fastpath", time.perf_counter() - start)
+        if observed is not None:
+            answer, rule = observed
+            self._stats.fastpath_hit(rule)
+            return QueryPlan(
+                source,
+                target,
+                version,
+                PLAN_RESOLVED,
+                outcome=QueryOutcome(
                     source, target, answer, True, "fastpath", version, rule
-                )
+                ),
+            )
 
-            start = time.perf_counter()
-            try:
-                self._fire("cache")
-                cached = self._cache.get(source, target)
-            except Exception:
-                self._stats.incr("stage_errors_cache")
-                cached = None
-            self._stats.observe_latency("cache", time.perf_counter() - start)
-            if cached is not None:
-                self._stats.incr("cache_hits")
-                return QueryOutcome(
+        start = time.perf_counter()
+        try:
+            self._fire("cache")
+            cached = self._cache.get(source, target)
+        except Exception:
+            self._stats.incr("stage_errors_cache")
+            cached = None
+        self._stats.observe_latency("cache", time.perf_counter() - start)
+        if cached is not None:
+            self._stats.incr("cache_hits")
+            return QueryPlan(
+                source,
+                target,
+                version,
+                PLAN_RESOLVED,
+                outcome=QueryOutcome(
                     source, target, cached, True, "cache", version
-                )
-            self._stats.incr("cache_misses")
+                ),
+            )
+        self._stats.incr("cache_misses")
 
-            if deadline is not None and time.perf_counter() > deadline:
-                return self._degraded(source, target, version, None, "pre-engine")
+        if deadline is not None and time.perf_counter() > deadline:
+            return QueryPlan(
+                source, target, version, PLAN_DEGRADED, why="pre-engine"
+            )
 
-            try:
-                self._ensure_csr(version)
-            except Exception:
-                self._stats.incr("stage_errors_freeze")
+        try:
+            self._ensure_csr(version)
+        except Exception:
+            self._stats.incr("stage_errors_freeze")
 
-            try:
-                return self._engine_stage(source, target, deadline, version)
-            except BudgetExceeded as exc:
-                self._stats.incr("budget_degraded")
-                return self._degraded(
-                    source, target, version, exc.partial, exc.reason
-                )
+        return QueryPlan(
+            source,
+            target,
+            version,
+            PLAN_ENGINE,
+            budget=self._make_budget(deadline, self._policy("engine")),
+        )
+
+    def _execute_plan(self, plan: QueryPlan) -> QueryOutcome:
+        """Dispatch one plan through the flat executor table."""
+        return self._EXECUTORS[plan.action](self, plan)
+
+    def _execute_resolved(self, plan: QueryPlan) -> QueryOutcome:
+        assert plan.outcome is not None
+        return plan.outcome
+
+    def _execute_degraded(self, plan: QueryPlan) -> QueryOutcome:
+        return self._degraded(
+            plan.source, plan.target, plan.version, None, plan.why
+        )
+
+    def _execute_engine(self, plan: QueryPlan) -> QueryOutcome:
+        try:
+            return self._engine_stage(plan)
+        except BudgetExceeded as exc:
+            self._stats.incr("budget_degraded")
+            return self._degraded(
+                plan.source, plan.target, plan.version, exc.partial, exc.reason
+            )
+
+    #: The complete action -> executor dispatch table. Executors are
+    #: stateless in the plan: they read only the plan plus substrate
+    #: state (breaker, fallback twin, stats), never the planning ladder.
+    _EXECUTORS: Dict[str, Callable[["ReachabilityService", QueryPlan], QueryOutcome]] = {
+        PLAN_RESOLVED: _execute_resolved,
+        PLAN_DEGRADED: _execute_degraded,
+        PLAN_ENGINE: _execute_engine,
+    }
 
     def _ensure_csr(self, version: int) -> None:
         """Freeze one shared CSR snapshot per graph version, on demand.
@@ -948,15 +1270,10 @@ class ReachabilityService:
     # ------------------------------------------------------------------
     # Engine stage: budget + circuit breaker + fallback
     # ------------------------------------------------------------------
-    def _engine_stage(
-        self,
-        source: int,
-        target: int,
-        deadline: Optional[float],
-        version: int,
-    ) -> QueryOutcome:
+    def _engine_stage(self, plan: QueryPlan) -> QueryOutcome:
+        source, target, version = plan.source, plan.target, plan.version
+        budget = plan.budget
         policy = self._policy("engine")
-        budget = self._make_budget(deadline, policy)
         allowed, probing = self._breaker.acquire()
 
         if allowed:
@@ -1196,6 +1513,9 @@ class ReachabilityService:
             "version": self.graph.version,
             "csr_cached": self.graph.csr(build=False) is not None,
         }
+        with self._router_lock:
+            if self._router is not None:
+                snapshot["shards"] = self._router.stats()
         return snapshot
 
     @property
@@ -1221,6 +1541,12 @@ class ReachabilityService:
     @property
     def cancel_token(self) -> CancelToken:
         return self._cancel
+
+    @property
+    def router(self) -> Optional["ShardRouter"]:
+        """The deployed shard router, if any (``None`` until the first
+        routed batch builds it, and always ``None`` with ``shards<=1``)."""
+        return self._router
 
 
 def _bounded_bibfs(

@@ -21,7 +21,10 @@ from typing import Dict, List, Optional, Tuple
 #: per-epoch CSR snapshot build the kernel path amortizes over queries;
 #: ``journal`` is the write-ahead append (fsync batches show as spikes);
 #: ``batch`` is one bit-parallel kernel wave (up to 64 queries per word),
-#: so its per-sample latency covers a whole wave, not one query.
+#: so its per-sample latency covers a whole wave, not one query;
+#: ``shard`` is one routed scatter–gather batch over the shard-worker
+#: fleet and ``shard_deploy`` covers partition + publish + spawn/swap of
+#: that fleet (paid once per served graph epoch).
 STAGES = (
     "fastpath",
     "cache",
@@ -31,6 +34,8 @@ STAGES = (
     "freeze",
     "journal",
     "batch",
+    "shard",
+    "shard_deploy",
 )
 
 _BUCKETS = 40  # 2**40 us ~ 12.7 days; effectively unbounded

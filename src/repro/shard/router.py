@@ -1,0 +1,591 @@
+"""Scatter–gather query routing over a shard fleet.
+
+The router owns one :class:`~repro.shard.partition.ShardPlan`, one
+published shared-memory segment per shard, and one spawned worker per
+shard. For a batch of (source, target) pairs it resolves, in order:
+
+1. **same SCC** → ``True`` (Tarjan ids from the partition);
+2. **class summaries** → exact ``True``/``False`` for every pair that
+   touches or could pass through a split class (see
+   :mod:`repro.shard.partition`);
+3. **quotient closure** → ``False`` when ``shard(t)`` is unreachable
+   from ``shard(s)`` in the shard DAG;
+4. **intra-shard** (both endpoints in one closed segment) → one
+   ≤64-lane bit-parallel wave on that shard's worker, verdicts final;
+5. **cross-shard** → scatter–gather: lanes are packed 64 to a group,
+   each shard's worker computes the bit-label closure of the lanes'
+   entry vertices (:func:`~repro.graph.bitsearch.csr_bit_reach`), and
+   the router joins returned boundary masks across shards along the
+   condensation DAG's cross edges, pruning lanes per shard through the
+   quotient closure. Monotone per-shard ``sent`` masks make the fixpoint
+   terminate; draining without reaching a lane's target proves its
+   negative (closures are exhaustive).
+
+**Containment.** Any worker failure — died process, pipe error, call
+timeout, stale version, expired budget — marks that worker dead and
+reroutes the affected pairs to the caller as *unresolved*; the serving
+engine then answers them on its own single-process path. A dead worker
+never wedges a batch, and :meth:`ShardRouter.refresh` respawns the fleet
+on the next epoch.
+
+**Swap protocol.** On a graph epoch change the engine calls
+:meth:`refresh`: the router repartitions, publishes version-stamped
+segments, and either swaps workers in place (same shard count, all
+alive) or respawns the fleet; old segments are unlinked after the swap
+acknowledges.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.snapshot import CSRSnapshot
+from repro.shard.memory import SegmentHandle, publish_snapshot, segment_name
+from repro.shard.partition import ShardPlan, partition_graph
+from repro.shard.worker import shard_worker_main
+
+#: Lanes per cross-shard scatter–gather group (one uint64 word).
+GROUP_LANES = 64
+
+Pair = Tuple[int, int]
+#: A resolved routed verdict: (answer, how).
+Verdict = Tuple[bool, str]
+
+#: Shared verdict tuples — the rule ladder emits thousands per batch.
+_VERDICT_SCC: Verdict = (True, "scc")
+_VERDICT_CLASS: Verdict = (True, "class")
+_VERDICT_CLASS_NEG: Verdict = (False, "class-neg")
+_VERDICT_QUOTIENT: Verdict = (False, "quotient")
+_VERDICT_DEG: Verdict = (False, "deg")
+
+
+class WorkerDied(Exception):
+    """A shard worker failed mid-call (process death, timeout, error)."""
+
+
+class _Stale(Exception):
+    """Worker answered for a different graph epoch."""
+
+
+class _OverBudget(Exception):
+    """Worker gave up under its time/edge budget."""
+
+
+class _Worker:
+    """The primary's handle on one spawned shard worker."""
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.alive = True
+
+    def post(self, msg: Tuple) -> None:
+        """Send one message without waiting — pair with :meth:`wait`."""
+        if not self.alive:
+            raise WorkerDied("worker already marked dead")
+        try:
+            self.conn.send(msg)
+        except (OSError, BrokenPipeError) as exc:
+            self.kill()
+            raise WorkerDied(f"worker pipe failed: {exc!r}") from exc
+
+    def wait(self, timeout_s: float) -> Tuple:
+        """Collect the reply to the last :meth:`post`."""
+        try:
+            if not self.conn.poll(timeout_s):
+                raise WorkerDied(f"worker call timed out after {timeout_s}s")
+            reply = self.conn.recv()
+        except WorkerDied:
+            self.kill()
+            raise
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self.kill()
+            raise WorkerDied(f"worker pipe failed: {exc!r}") from exc
+        kind = reply[0]
+        if kind == "stale":
+            raise _Stale(str(reply[1]))
+        if kind == "budget":
+            raise _OverBudget(str(reply[1]))
+        if kind == "error":
+            raise WorkerDied(f"worker error: {reply[1]}")
+        return reply
+
+    def call(self, msg: Tuple, timeout_s: float) -> Tuple:
+        self.post(msg)
+        return self.wait(timeout_s)
+
+    def kill(self) -> None:
+        self.alive = False
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        if self.alive:
+            try:
+                self.conn.send(("stop",))
+                self.conn.poll(timeout_s)
+            except (OSError, BrokenPipeError):
+                pass
+        self.kill()
+        self.process.join(timeout=timeout_s)
+
+
+class ShardRouter:
+    """Partition + publish + spawn, then route batches (see module doc)."""
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        num_shards: int,
+        *,
+        call_timeout_s: float = 30.0,
+    ) -> None:
+        if num_shards < 2:
+            raise ValueError("ShardRouter needs num_shards >= 2")
+        self.requested_shards = num_shards
+        self.call_timeout_s = call_timeout_s
+        self.counters: Dict[str, int] = {}
+        self._ctx = multiprocessing.get_context("spawn")
+        self._plan: Optional[ShardPlan] = None
+        self._segments: List[SegmentHandle] = []
+        self._workers: List[_Worker] = []
+        self._closed = False
+        self._deploy(graph)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._plan.version if self._plan is not None else -1
+
+    @property
+    def num_shards(self) -> int:
+        return self._plan.num_shards if self._plan is not None else 0
+
+    @property
+    def healthy(self) -> bool:
+        """All workers alive (a degraded router still routes what it can)."""
+        return bool(self._workers) and all(w.alive for w in self._workers)
+
+    def _incr(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def _publish(self, plan: ShardPlan) -> List[SegmentHandle]:
+        handles = []
+        for info, sub in zip(plan.shards, plan.subgraphs):
+            csr = CSRSnapshot.freeze(sub)
+            handles.append(
+                publish_snapshot(csr, segment_name(info.index, plan.version))
+            )
+        return handles
+
+    def _spec(
+        self, plan: ShardPlan, handles: List[SegmentHandle], index: int
+    ) -> Dict[str, object]:
+        return {
+            "name": handles[index].name,
+            "manifest": handles[index].manifest,
+            "version": plan.version,
+            "boundary_out": plan.boundary_out.get(index, []),
+        }
+
+    def _deploy(self, graph: DynamicDiGraph) -> None:
+        plan = partition_graph(graph, self.requested_shards)
+        if not plan.shards:
+            raise ValueError("cannot shard an empty graph")
+        self._deploy_from(plan)
+
+    def refresh(self, graph: DynamicDiGraph) -> None:
+        """Re-anchor the fleet at the graph's current version.
+
+        Swaps segments in place when the new partition keeps the shard
+        count and every worker is alive; otherwise tears down and
+        respawns. Either way the old version-stamped segments are
+        unlinked once no worker needs them.
+        """
+        if self._closed:
+            raise RuntimeError("router is closed")
+        if self._plan is not None and self._plan.version == graph.version:
+            return
+        plan = partition_graph(graph, self.requested_shards)
+        if not plan.shards:
+            raise ValueError("cannot shard an empty graph")
+        in_place = (
+            self._plan is not None
+            and plan.num_shards == len(self._workers)
+            and all(w.alive for w in self._workers)
+        )
+        if not in_place:
+            self._teardown()
+            self._deploy_from(plan)
+            return
+        handles = self._publish(plan)
+        old_segments = self._segments
+        try:
+            for info in plan.shards:
+                self._workers[info.index].call(
+                    ("swap", self._spec(plan, handles, info.index)),
+                    self.call_timeout_s,
+                )
+        except (WorkerDied, _Stale, _OverBudget):
+            # A failed swap leaves a mixed fleet: fall back to a full
+            # respawn against the new plan.
+            for handle in handles:
+                handle.close()
+            self._teardown()
+            self._deploy_from(plan)
+            for handle in old_segments:
+                handle.close()
+            return
+        self._plan = plan
+        self._segments = handles
+        for handle in old_segments:
+            handle.close()
+        self._incr("swaps")
+
+    def _deploy_from(self, plan: ShardPlan) -> None:
+        handles = self._publish(plan)
+        workers: List[_Worker] = []
+        try:
+            for info in plan.shards:
+                parent, child = self._ctx.Pipe(duplex=True)
+                process = self._ctx.Process(
+                    target=shard_worker_main,
+                    args=(child, self._spec(plan, handles, info.index)),
+                    daemon=True,
+                    name=f"ifca-shard-{info.index}",
+                )
+                process.start()
+                child.close()
+                workers.append(_Worker(process, parent))
+            for worker in workers:
+                worker.call(("ping",), self.call_timeout_s)
+        except Exception:
+            for worker in workers:
+                worker.kill()
+            for handle in handles:
+                handle.close()
+            raise
+        self._plan, self._segments, self._workers = plan, handles, workers
+        self._incr("deploys")
+
+    def _teardown(self) -> None:
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+        for handle in self._segments:
+            handle.close()
+        self._segments = []
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._teardown()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        pairs: Sequence[Pair],
+        *,
+        deadline: Optional[float] = None,
+        edge_ceiling: Optional[int] = None,
+    ) -> Tuple[Dict[Pair, Verdict], List[Pair]]:
+        """Route one batch; returns ``(resolved, unresolved)``.
+
+        ``resolved`` maps each answered pair to ``(answer, how)`` with
+        ``how`` one of ``"scc" | "class" | "class-neg" | "quotient" |
+        "deg" | "wave" | "cross"``. ``unresolved`` pairs (worker death, budget,
+        stale, endpoints unknown to the plan) are the caller's to answer
+        locally. ``deadline`` is an absolute ``time.perf_counter()``
+        stamp forwarded to workers as a remaining-time budget.
+        """
+        if self._closed or self._plan is None:
+            return {}, list(pairs)
+        plan = self._plan
+        resolved: Dict[Pair, Verdict] = {}
+        unresolved: List[Pair] = []
+        intra: Dict[int, List[Pair]] = {}
+        cross: List[Pair] = []
+
+        # The ladder runs per pair over batches of thousands, so it is
+        # written for the interpreter: plan lookups bound to locals,
+        # verdict tuples shared, rule hits tallied with plain ints.
+        shard_of_get = plan.shard_of.get
+        scc_of = plan.scc_of
+        classes = [
+            (reaches, plan.reached_from_class[cid])
+            for cid, reaches in plan.reaches_class.items()
+        ]
+        is_class_shard = [
+            info.scc_class is not None for info in plan.shards
+        ]
+        quotient_reach = plan.quotient_reach
+        live_out, live_in = plan.live_out, plan.live_in
+        n_scc = n_class = n_class_neg = n_quotient = n_deg = 0
+
+        for pair in pairs:
+            s, t = pair
+            ks = shard_of_get(s)
+            kt = shard_of_get(t)
+            if ks is None or kt is None:
+                unresolved.append(pair)
+                continue
+            if scc_of[s] == scc_of[t]:
+                resolved[pair] = _VERDICT_SCC
+                n_scc += 1
+                continue
+            for reaches, reached_from in classes:
+                if s in reaches and t in reached_from:
+                    resolved[pair] = _VERDICT_CLASS
+                    n_class += 1
+                    break
+            else:
+                # An endpoint inside a split class with no through-class
+                # verdict above is an exact negative: every path from
+                # (to) a class member passes the class itself.
+                if is_class_shard[ks] or is_class_shard[kt]:
+                    resolved[pair] = _VERDICT_CLASS_NEG
+                    n_class_neg += 1
+                    continue
+                if kt not in quotient_reach[ks]:
+                    resolved[pair] = _VERDICT_QUOTIENT
+                    n_quotient += 1
+                    continue
+                # Degree liveness: a source with no routed out-edge (or
+                # a target with no routed in-edge) in its shard cannot
+                # be on any path the fleet could find — an exact
+                # negative for two set probes. On sparse peripheries
+                # this keeps most of the batch off the wire entirely.
+                if s not in live_out[ks] or t not in live_in[kt]:
+                    resolved[pair] = _VERDICT_DEG
+                    n_deg += 1
+                    continue
+                if ks == kt:
+                    intra.setdefault(ks, []).append(pair)
+                    continue
+                cross.append(pair)
+
+        self._incr("route_pairs", len(pairs))
+        for how, n in (
+            ("scc", n_scc),
+            ("class", n_class),
+            ("class-neg", n_class_neg),
+            ("quotient", n_quotient),
+            ("deg", n_deg),
+        ):
+            if n:
+                self._incr(f"route_{how}", n)
+
+        if intra:
+            # One batched call per shard — the worker chunks into 64-lane
+            # waves itself, so a shard's whole intra load costs one IPC
+            # round trip — posted to every shard before the first reply
+            # is collected.
+            plan_version = plan.version
+            replies, failures = self._scatter(
+                {
+                    shard: (
+                        "wave",
+                        plan_version,
+                        plist,
+                        "forward",
+                        self._time_left(deadline),
+                        edge_ceiling,
+                    )
+                    for shard, plist in intra.items()
+                }
+            )
+            for shard, exc in failures.items():
+                self._note_failure(exc)
+                unresolved.extend(intra[shard])
+            for shard, reply in replies.items():
+                _ok, answers, stats = reply
+                self._incr("worker_edge_accesses", int(stats[2]))
+                for pair, answer in zip(intra[shard], answers):
+                    resolved[pair] = (answer, "wave")
+                self._incr("route_waves", int(stats[4]))
+                self._incr("route_wave_pairs", len(intra[shard]))
+
+        for start in range(0, len(cross), GROUP_LANES):
+            group = cross[start : start + GROUP_LANES]
+            try:
+                verdicts = self._cross_group(group, deadline, edge_ceiling)
+            except (WorkerDied, _Stale, _OverBudget) as exc:
+                self._note_failure(exc)
+                unresolved.extend(group)
+                continue
+            resolved.update(verdicts)
+            self._incr("route_cross_groups")
+            self._incr("route_cross_pairs", len(group))
+
+        if unresolved:
+            self._incr("route_unresolved", len(unresolved))
+        return resolved, unresolved
+
+    def _note_failure(self, exc: Exception) -> None:
+        if isinstance(exc, WorkerDied):
+            self._incr("worker_failures")
+        elif isinstance(exc, _OverBudget):
+            self._incr("route_budget_exceeded")
+        else:
+            self._incr("route_stale")
+
+    def _time_left(self, deadline: Optional[float]) -> Optional[float]:
+        if deadline is None:
+            return None
+        return max(1e-3, deadline - time.perf_counter())
+
+    def _scatter(
+        self, msgs: Dict[int, Tuple]
+    ) -> Tuple[Dict[int, Tuple], Dict[int, Exception]]:
+        """Post one message per shard, then gather every reply.
+
+        Overlaps worker compute with pipe latency: all messages are in
+        flight before the first reply is read. Every successful post is
+        matched by a wait even after a failure — a reply left unread
+        would desynchronize the worker's request/reply protocol for the
+        rest of the epoch. Returns ``(replies, failures)`` per shard.
+        """
+        replies: Dict[int, Tuple] = {}
+        failures: Dict[int, Exception] = {}
+        posted: List[int] = []
+        for shard, msg in msgs.items():
+            try:
+                self._workers[shard].post(msg)
+                posted.append(shard)
+            except WorkerDied as exc:
+                failures[shard] = exc
+        for shard in posted:
+            try:
+                replies[shard] = self._workers[shard].wait(self.call_timeout_s)
+            except (WorkerDied, _Stale, _OverBudget) as exc:
+                failures[shard] = exc
+        return replies, failures
+
+    def _cross_group(
+        self,
+        group: List[Pair],
+        deadline: Optional[float],
+        edge_ceiling: Optional[int],
+    ) -> Dict[Pair, Verdict]:
+        """Scatter–gather fixpoint for ≤64 cross-shard lanes."""
+        plan = self._plan
+        assert plan is not None
+        target_shard = [plan.shard_of[t] for _, t in group]
+
+        # Lane prune mask per shard: a lane enters shard k only if k can
+        # still reach the lane's target shard in the quotient closure.
+        prune_cache: Dict[int, int] = {}
+
+        def prune_mask(shard: int) -> int:
+            mask = prune_cache.get(shard)
+            if mask is None:
+                mask = 0
+                reach = plan.quotient_reach[shard]
+                for lane, kt in enumerate(target_shard):
+                    if kt in reach:
+                        mask |= 1 << lane
+                prune_cache[shard] = mask
+            return mask
+
+        # Targets to probe inside each shard, by lane mask.
+        targets_in: Dict[int, Dict[int, int]] = {}
+        for lane, (_s, t) in enumerate(group):
+            shard_targets = targets_in.setdefault(target_shard[lane], {})
+            shard_targets[t] = shard_targets.get(t, 0) | (1 << lane)
+
+        sent: Dict[int, Dict[int, int]] = {}
+        frontier: Dict[int, Dict[int, int]] = {}
+        for lane, (s, _t) in enumerate(group):
+            shard_seeds = frontier.setdefault(plan.shard_of[s], {})
+            shard_seeds[s] = shard_seeds.get(s, 0) | (1 << lane)
+
+        result = 0
+        rounds = 0
+        while frontier:
+            # One scatter round: every frontier shard gets its seeds in
+            # one posted message, replies are gathered together — the
+            # round trips of a whole BFS level overlap instead of
+            # queueing one behind another.
+            msgs: Dict[int, Tuple] = {}
+            for shard, seeds in frontier.items():
+                live = prune_mask(shard) & ~result
+                shard_sent = sent.setdefault(shard, {})
+                fresh: List[Tuple[int, int]] = []
+                for v, mask in seeds.items():
+                    mask &= live & ~shard_sent.get(v, 0)
+                    if mask:
+                        fresh.append((v, mask))
+                        shard_sent[v] = shard_sent.get(v, 0) | mask
+                if fresh:
+                    msgs[shard] = (
+                        "reach",
+                        plan.version,
+                        fresh,
+                        list(targets_in.get(shard, {})),
+                        True,
+                        self._time_left(deadline),
+                        edge_ceiling,
+                    )
+            if not msgs:
+                break
+            rounds += 1
+            replies, failures = self._scatter(msgs)
+            if failures:
+                # Containment is all-or-nothing per group: a partial
+                # fixpoint could answer a lane False while the dead
+                # shard held its only path. _scatter already drained
+                # the surviving replies, so the pipes stay coherent.
+                raise next(iter(failures.values()))
+            frontier = {}
+            for shard, reply in replies.items():
+                _ok, labels, stats = reply
+                self._incr("worker_edge_accesses", int(stats[2]))
+                for t, lane_mask in targets_in.get(shard, {}).items():
+                    result |= labels.get(t, 0) & lane_mask
+                cross_edges = plan.cross_out.get(shard, {})
+                for u, mask in labels.items():
+                    heads = cross_edges.get(u)
+                    if not heads:
+                        continue
+                    carry = mask & ~result
+                    if not carry:
+                        continue
+                    for v, kv in heads:
+                        next_seeds = frontier.setdefault(kv, {})
+                        next_seeds[v] = next_seeds.get(v, 0) | carry
+        self._incr("route_cross_rounds", rounds)
+
+        verdicts: Dict[Pair, Verdict] = {}
+        for lane, pair in enumerate(group):
+            verdicts[pair] = (bool((result >> lane) & 1), "cross")
+        return verdicts
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        plan_summary = self._plan.summary() if self._plan is not None else {}
+        return {
+            "requested_shards": self.requested_shards,
+            "healthy": self.healthy,
+            "workers_alive": sum(1 for w in self._workers if w.alive),
+            "plan": plan_summary,
+            "counters": dict(self.counters),
+        }

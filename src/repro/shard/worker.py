@@ -1,0 +1,151 @@
+"""Shard worker process: attach, sweep, swap.
+
+Spawned (never forked — numpy state and the primary's locks must not be
+inherited) with one end of a duplex pipe and a segment spec. The worker
+attaches its shard's shared-memory segment, rebuilds the frozen
+:class:`~repro.graph.snapshot.CSRSnapshot` zero-copy, and then serves a
+tuple-message loop:
+
+``("ping",)``
+    → ``("ok", version)`` — liveness + version handshake.
+``("wave", version, pairs, lead, time_left, edge_ceiling)``
+    → ``("ok", answers, stats)`` — intra-shard bit-parallel BiBFS over
+    any number of pairs, chunked worker-side into ≤64-lane waves
+    (:func:`~repro.graph.bitsearch.csr_bit_bibfs`). One message per
+    shard per batch: the chunk loop lives here precisely so the primary
+    pays one IPC round trip per shard, not one per 64 lanes.
+``("reach", version, seeds, extra_probes, forward, time_left, edge_ceiling)``
+    → ``("ok", labels, stats)`` — one bit-label closure
+    (:func:`~repro.graph.bitsearch.csr_bit_reach`) reporting the shard's
+    standing boundary probes plus ``extra_probes``.
+``("swap", spec)``
+    → ``("ok", version)`` — attach the republished segment for a new
+    graph epoch, then drop the old mapping.
+``("stop",)``
+    → ``("ok", "bye")`` and exit.
+
+Version mismatches answer ``("stale", worker_version)``; expired budgets
+answer ``("budget", reason)``; any other exception answers
+``("error", repr)`` and the loop survives — containment is the router's
+job, the worker just reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.budget import Budget, BudgetExceeded
+from repro.graph.bitsearch import csr_bit_bibfs, csr_bit_reach
+from repro.shard.memory import attach_snapshot
+
+#: Lanes per bit-parallel wave — one query per bit of a 64-bit word.
+_WAVE_LANES = 64
+
+
+class _ShardState:
+    """The worker's view of one published shard epoch."""
+
+    def __init__(self, spec: Dict[str, object]) -> None:
+        self.version = int(spec["version"])
+        self.boundary: List[int] = list(spec["boundary_out"])  # type: ignore[arg-type]
+        self.shm, self.csr = attach_snapshot(
+            str(spec["name"]), spec["manifest"]  # type: ignore[arg-type]
+        )
+
+    def release(self) -> None:
+        """Drop the mapping (best effort: live views pin it)."""
+        self.csr = None  # type: ignore[assignment]
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - a view outlived the swap
+            pass
+
+
+def _budget(time_left: Optional[float], edge_ceiling: Optional[int]) -> Optional[Budget]:
+    if time_left is None and edge_ceiling is None:
+        return None
+    return Budget.from_timeout(time_left, edge_ceiling)
+
+
+def shard_worker_main(conn, spec: Dict[str, object]) -> None:
+    """Entry point for one spawned shard worker (blocks until stopped)."""
+    state = _ShardState(spec)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                conn.send(("ok", "bye"))
+                break
+            try:
+                if kind == "swap":
+                    new_state = _ShardState(msg[1])
+                    conn.send(("ok", new_state.version))
+                    state.release()
+                    state = new_state
+                else:
+                    conn.send(_handle(state, msg))
+            except BudgetExceeded as exc:
+                conn.send(("budget", exc.reason))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                conn.send(("error", repr(exc)))
+    finally:
+        state.release()
+        conn.close()
+
+
+def _handle(state: _ShardState, msg: Tuple) -> Tuple:
+    kind = msg[0]
+    if kind == "ping":
+        return ("ok", state.version)
+    if kind == "wave":
+        _version, pairs, lead, time_left, edge_ceiling = msg[1:]
+        if _version != state.version:
+            return ("stale", state.version)
+        started = time.perf_counter()
+        # One shared budget across all chunks: the edge ceiling bounds
+        # the whole per-shard batch, not each 64-lane wave separately.
+        budget = _budget(time_left, edge_ceiling)
+        answers: List[bool] = []
+        lanes = layers = edges = waves = 0
+        for start in range(0, len(pairs), _WAVE_LANES):
+            chunk = [tuple(p) for p in pairs[start : start + _WAVE_LANES]]
+            chunk_answers, stats = csr_bit_bibfs(
+                state.csr, chunk, budget=budget, lead=lead
+            )
+            answers.extend(chunk_answers)
+            lanes += stats.lanes
+            layers += stats.layers
+            edges += stats.edge_accesses
+            waves += 1
+        return (
+            "ok",
+            answers,
+            (lanes, layers, edges, time.perf_counter() - started, waves),
+        )
+    if kind == "reach":
+        _version, seeds, extra_probes, forward, time_left, edge_ceiling = msg[1:]
+        if _version != state.version:
+            return ("stale", state.version)
+        started = time.perf_counter()
+        probes = state.boundary if not extra_probes else [
+            *state.boundary, *extra_probes
+        ]
+        labels, stats = csr_bit_reach(
+            state.csr,
+            [tuple(s) for s in seeds],
+            probes,
+            forward=bool(forward),
+            budget=_budget(time_left, edge_ceiling),
+        )
+        return (
+            "ok",
+            labels,
+            (stats.lanes, stats.layers, stats.edge_accesses,
+             time.perf_counter() - started),
+        )
+    return ("error", f"unknown message kind {kind!r}")

@@ -21,7 +21,7 @@ import bisect
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.graph.digraph import DynamicDiGraph
 
@@ -75,6 +75,8 @@ def generate_mixed_workload(
     skew: float = 1.0,
     pair_pool: Optional[int] = None,
     batch_size: Optional[int] = None,
+    shard_of: Optional[Dict[int, int]] = None,
+    shard_locality: float = 0.0,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
 ) -> List[Op]:
@@ -102,6 +104,16 @@ def generate_mixed_workload(
         of clients that coalesce requests — what the serving driver's
         batched replay groups into ``query_batch`` calls. The marginal
         query:update mix is unchanged; only the interleaving is burstier.
+    shard_of, shard_locality:
+        Shard-skew knob for sharded serving benchmarks: ``shard_of``
+        maps vertices to shard indices (a
+        :attr:`~repro.shard.partition.ShardPlan.shard_of` map) and each
+        query is, with probability ``shard_locality``, redrawn so both
+        endpoints land in the source's shard — traffic a sharded router
+        answers with intra-shard waves instead of cross-shard
+        scatter–gather. ``0.0`` (default) leaves endpoints independent;
+        real workloads sit in between, since community-local queries are
+        exactly what the partitioner's sweep groups together.
     """
     if not 0.0 <= query_ratio <= 1.0:
         raise ValueError("query_ratio must be in [0, 1]")
@@ -111,6 +123,8 @@ def generate_mixed_workload(
         raise ValueError("pair_pool must be positive")
     if batch_size is not None and batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    if not 0.0 <= shard_locality <= 1.0:
+        raise ValueError("shard_locality must be in [0, 1]")
     if rng is None:
         rng = random.Random(seed)
 
@@ -126,6 +140,19 @@ def generate_mixed_workload(
     def draw_pair() -> Optional[Tuple[int, int]]:
         s = sampler.sample(rng)
         t = sampler.sample(rng)
+        if (
+            shard_of is not None
+            and shard_locality > 0.0
+            and rng.random() < shard_locality
+        ):
+            home = shard_of.get(s)
+            if home is not None:
+                # Redraw the target until it shares the source's shard;
+                # give up after a bounded number of tries (tiny shards).
+                for _ in range(32):
+                    if t != s and shard_of.get(t) == home:
+                        break
+                    t = sampler.sample(rng)
         return (s, t) if s != t else None
 
     pool_sampler: Optional[_ZipfSampler] = None

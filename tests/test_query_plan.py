@@ -1,0 +1,146 @@
+"""Golden tests for the plan/execute split in the serving engine.
+
+:meth:`ReachabilityService._plan_query` must make exactly the decisions
+the pre-split inline ladder made — same resolution stage, same counters,
+same degradation — and the executor table must be the *only* thing that
+acts on a plan. These tests pin the contract so future substrates (the
+shard router rides the same split) can extend the table without
+re-deriving the ladder.
+"""
+
+import time
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.service import QueryPlan, ReachabilityService
+from repro.service.engine import PLAN_DEGRADED, PLAN_ENGINE, PLAN_RESOLVED
+from repro.service.faults import FaultPlan, FaultSpec
+
+
+def line_graph():
+    """0 -> 1 -> ... -> 9, plus a disconnected island 50..59."""
+    g = DynamicDiGraph(edges=[(i, i + 1) for i in range(9)])
+    for i in range(50, 59):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def service(**kwargs):
+    kwargs.setdefault("num_workers", 1)
+    kwargs.setdefault("num_supportive", 0)
+    return ReachabilityService(line_graph(), **kwargs)
+
+
+class TestPlanning:
+    def test_fastpath_resolves_in_plan(self):
+        with service() as svc:
+            plan = svc._plan_query(3, 3, None)
+            assert plan.action == PLAN_RESOLVED
+            assert plan.outcome is not None
+            assert plan.outcome.via == "fastpath"
+            assert plan.outcome.answer is True and plan.outcome.confident
+            assert plan.version == svc.graph.version
+            assert svc.stats()["counters"]["fastpath_hits"] == 1
+
+    def test_cache_hit_resolves_in_plan(self):
+        with service() as svc:
+            first = svc.query(0, 9)
+            assert first.via == "engine"
+            plan = svc._plan_query(0, 9, None)
+            assert plan.action == PLAN_RESOLVED
+            assert plan.outcome.via == "cache"
+            assert plan.outcome.answer is True
+            assert svc.stats()["counters"]["cache_hits"] == 1
+
+    def test_expired_deadline_plans_degraded(self):
+        with service() as svc:
+            plan = svc._plan_query(0, 8, time.perf_counter() - 1.0)
+            assert plan.action == PLAN_DEGRADED
+            assert plan.why == "pre-engine"
+            assert plan.outcome is None and plan.budget is None
+
+    def test_engine_plan_carries_budget(self):
+        with service() as svc:
+            plan = svc._plan_query(0, 8, None)
+            assert plan.action == PLAN_ENGINE
+            assert plan.budget is not None
+            assert plan.outcome is None
+            assert svc.stats()["counters"]["cache_misses"] == 1
+
+    def test_stage_errors_fall_through_to_engine(self):
+        plan_faults = FaultPlan(
+            "t", (FaultSpec("fastpath"), FaultSpec("cache"))
+        )
+        with service(fault_plan=plan_faults) as svc:
+            plan = svc._plan_query(0, 8, None)
+            assert plan.action == PLAN_ENGINE
+            counters = svc.stats()["counters"]
+            assert counters["stage_errors_fastpath"] >= 1
+            assert counters["stage_errors_cache"] >= 1
+
+    def test_executor_table_covers_exactly_the_actions(self):
+        assert set(ReachabilityService._EXECUTORS) == {
+            PLAN_RESOLVED,
+            PLAN_DEGRADED,
+            PLAN_ENGINE,
+        }
+
+    def test_plan_is_immutable_plain_data(self):
+        plan = QueryPlan(0, 1, 7, PLAN_DEGRADED, why="pre-engine")
+        try:
+            plan.action = PLAN_ENGINE
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("QueryPlan must be frozen")
+
+
+class TestExecutionEquivalence:
+    """End-to-end `query()` behavior — the golden ladder outcomes the
+    inline pipeline produced, now via plan + executor."""
+
+    def test_full_ladder_vias(self):
+        with service() as svc:
+            assert svc.query(0, 9).via == "engine"
+            assert svc.query(0, 9).via == "cache"
+            assert svc.query(4, 4).via == "fastpath"
+            out = svc.query(0, 8, deadline_s=0.0)
+            assert out.via == "degraded"
+            assert "pre-engine" in out.detail
+
+    def test_negative_pair_round_trip(self):
+        with service() as svc:
+            out = svc.query(0, 55)
+            assert out.answer is False and out.confident
+            assert svc.query(55, 0).answer is False
+
+    def test_engine_fallback_via_preserved(self):
+        faults = FaultPlan("t", (FaultSpec("engine", max_fires=1),))
+        with service(fault_plan=faults) as svc:
+            out = svc.query(0, 9)
+            assert out.answer is True and out.confident
+            assert out.via == "engine-fallback"
+            counters = svc.stats()["counters"]
+            assert counters["engine_failures"] == 1
+            assert counters["engine_fallbacks"] == 1
+
+    def test_counter_golden_sequence(self):
+        with service() as svc:
+            svc.query(0, 9)   # miss -> engine
+            svc.query(0, 9)   # cache hit
+            svc.query(3, 3)   # fastpath
+            svc.query(0, 7, deadline_s=0.0)  # miss -> pre-engine degrade
+            counters = svc.stats()["counters"]
+            assert counters["queries"] == 4
+            assert counters["cache_misses"] == 2
+            assert counters["cache_hits"] == 1
+            assert counters["fastpath_hits"] == 1
+
+    def test_batch_strategies_agree_with_scalar_queries(self):
+        pairs = [(0, 9), (9, 0), (0, 55), (55, 59), (2, 7), (3, 3)]
+        with service() as svc:
+            scalar = [svc.query(s, t).answer for s, t in pairs]
+        for strategy in ("scalar", "bitparallel"):
+            with service() as svc:
+                outcomes = svc.query_batch(pairs, strategy=strategy)
+                assert [o.answer for o in outcomes] == scalar
+                assert all(o.confident for o in outcomes)

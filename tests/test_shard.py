@@ -1,0 +1,400 @@
+"""Tests for :mod:`repro.shard`: partition invariants and the worker fleet.
+
+The partition tests are pure graph analysis (no processes, no numpy) and
+run in tier 1 everywhere. The fleet tests spawn real worker processes
+(``@pytest.mark.shard``, re-run in isolation by the tier-2 CI leg) and
+amortize the ~1 s/worker spawn cost through a module-scoped router.
+"""
+
+import glob
+import random
+
+import pytest
+
+from repro.graph import HAVE_NUMPY
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import is_reachable_bfs
+from repro.shard import ShardRouter, partition_graph
+
+from tests.conftest import random_graph
+
+
+def chain_graph(num_cycles=40, cycle=5, seed=3):
+    """A chain of small cycles with skip links and dangling sources/sinks
+    — many SCCs, a deep condensation, and guaranteed cross-shard paths."""
+    rng = random.Random(seed)
+    g = DynamicDiGraph()
+    for c in range(num_cycles):
+        base = c * cycle
+        for i in range(cycle):
+            g.add_edge(base + i, base + (i + 1) % cycle)
+        if c:
+            g.add_edge(
+                base - cycle + rng.randrange(cycle), base + rng.randrange(cycle)
+            )
+    n = num_cycles * cycle
+    for _ in range(num_cycles // 2):
+        a, b = rng.randrange(num_cycles), rng.randrange(num_cycles)
+        if a < b:
+            g.add_edge(
+                a * cycle + rng.randrange(cycle), b * cycle + rng.randrange(cycle)
+            )
+    for d in range(8):
+        g.add_edge(n + d, rng.randrange(n))
+        g.add_edge(rng.randrange(n), n + 100 + d)
+    return g
+
+
+def giant_scc_graph():
+    """One 60-vertex cycle (an SCC too big to balance at K=4) plus a
+    feeder chain in and a drain chain out — forces a class split."""
+    g = DynamicDiGraph()
+    for i in range(60):
+        g.add_edge(i, (i + 1) % 60)
+    for i in range(10):  # 100..110 -> cycle
+        g.add_edge(100 + i, 100 + i + 1)
+    g.add_edge(110, 0)
+    for i in range(10):  # cycle -> 200..210
+        g.add_edge(200 + i, 200 + i + 1)
+    g.add_edge(30, 200)
+    g.add_edge(300, 301)  # an island, unreachable either way
+    return g
+
+
+def sample_pairs(graph, count, seed=0):
+    rng = random.Random(seed)
+    verts = sorted(graph.vertices())
+    return [(rng.choice(verts), rng.choice(verts)) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Partition invariants (tier 1: no processes, no numpy)
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_covers_all_vertices_disjointly(self):
+        g = chain_graph()
+        plan = partition_graph(g, 4)
+        assert set(plan.shard_of) == set(g.vertices())
+        seen = set()
+        for info in plan.shards:
+            assert info.vertices  # a shard is never empty
+            assert not seen.intersection(info.vertices)
+            seen.update(info.vertices)
+            for v in info.vertices:
+                assert plan.shard_of[v] == info.index
+        assert seen == set(g.vertices())
+
+    def test_edge_volume_accounts_every_edge_once(self):
+        g = chain_graph()
+        plan = partition_graph(g, 4)
+        assert sum(s.edge_volume for s in plan.shards) == g.num_edges
+
+    def test_closed_segments_are_reachability_closed(self):
+        g = chain_graph()
+        plan = partition_graph(g, 4)
+        for info in plan.shards:
+            if not info.closed:
+                continue
+            sub = plan.subgraphs[info.index]
+            members = list(info.vertices)[:12]
+            for s in members:
+                for t in members:
+                    assert is_reachable_bfs(sub, s, t) == is_reachable_bfs(
+                        g, s, t
+                    ), (s, t, info.index)
+
+    def test_quotient_negative_is_sound(self):
+        g = chain_graph()
+        plan = partition_graph(g, 4)
+        checked = 0
+        for s, t in sample_pairs(g, 400, seed=1):
+            ks, kt = plan.shard_of[s], plan.shard_of[t]
+            if kt not in plan.quotient_reach[ks]:
+                assert not is_reachable_bfs(g, s, t), (s, t)
+                checked += 1
+        assert checked > 0  # the sample must actually exercise the rule
+
+    def test_quotient_reach_includes_self(self):
+        plan = partition_graph(chain_graph(), 4)
+        for info in plan.shards:
+            assert info.index in plan.quotient_reach[info.index]
+
+    def test_degree_liveness_negative_is_sound(self):
+        g = chain_graph()
+        plan = partition_graph(g, 4)
+        checked = 0
+        for s in g.vertices():
+            ks = plan.shard_of[s]
+            if s in plan.live_out[ks]:
+                continue
+            checked += 1
+            # No routed out-edge: s reaches nothing but itself.
+            for t in list(g.vertices())[:25]:
+                if t != s:
+                    assert not is_reachable_bfs(g, s, t), (s, t)
+        # The dangling sinks (n+100+d) have no out-edges at all.
+        assert checked >= 8
+        dead_in = 0
+        for t in g.vertices():
+            kt = plan.shard_of[t]
+            if t in plan.live_in[kt]:
+                continue
+            dead_in += 1
+            for s in list(g.vertices())[:25]:
+                if s != t:
+                    assert not is_reachable_bfs(g, s, t), (s, t)
+        assert dead_in >= 8  # the dangling sources (n+d)
+
+    def test_class_split_and_summaries_exact(self):
+        g = giant_scc_graph()
+        plan = partition_graph(g, 4)
+        class_shards = [s for s in plan.shards if s.scc_class is not None]
+        assert class_shards, "the 60-cycle should have been split"
+        assert all(not s.closed for s in class_shards)
+        cycle = set(range(60))
+        covered = set()
+        for info in class_shards:
+            covered.update(info.vertices)
+        assert covered == cycle
+        cid = class_shards[0].scc_class
+        member = next(iter(class_shards[0].vertices))
+        reaches = {
+            v for v in g.vertices() if is_reachable_bfs(g, v, member)
+        }
+        reached = {
+            v for v in g.vertices() if is_reachable_bfs(g, member, v)
+        }
+        assert set(plan.reaches_class[cid]) == reaches
+        assert set(plan.reached_from_class[cid]) == reached
+
+    def test_cross_edges_never_enter_class_shards(self):
+        for g in (chain_graph(), giant_scc_graph()):
+            plan = partition_graph(g, 4)
+            for shard, by_tail in plan.cross_out.items():
+                for tail, heads in by_tail.items():
+                    assert plan.shard_of[tail] == shard
+                    for head, head_shard in heads:
+                        assert head_shard != shard
+                        assert plan.shard_of[head] == head_shard
+                        # Paths through a split class are answered by the
+                        # class summaries; the search never enters one.
+                        assert plan.shards[head_shard].scc_class is None
+                assert sorted(by_tail) == plan.boundary_out[shard]
+
+    def test_rule_verdicts_match_oracle(self):
+        """Every summary rule the router applies, checked exhaustively:
+        same-SCC, class membership, and quotient-negative are exact."""
+        for g in (giant_scc_graph(), random_graph(40, 120, seed=13)):
+            plan = partition_graph(g, 4)
+            class_of = {
+                s.index: s.scc_class for s in plan.shards
+            }
+            for s in g.vertices():
+                for t in g.vertices():
+                    truth = is_reachable_bfs(g, s, t)
+                    if plan.scc_of[s] == plan.scc_of[t]:
+                        assert truth, (s, t)
+                        continue
+                    ct = class_of[plan.shard_of[t]]
+                    if ct is not None:
+                        assert truth == (s in plan.reaches_class[ct]), (s, t)
+                    cs = class_of[plan.shard_of[s]]
+                    if cs is not None:
+                        assert truth == (
+                            t in plan.reached_from_class[cs]
+                        ), (s, t)
+                    if (
+                        plan.shard_of[t]
+                        not in plan.quotient_reach[plan.shard_of[s]]
+                    ):
+                        assert not truth, (s, t)
+
+    def test_single_shard_target(self):
+        g = DynamicDiGraph(edges=[(i, (i + 1) % 10) for i in range(10)])
+        plan = partition_graph(g, 1)  # one SCC, one shard
+        assert plan.num_shards == 1
+        assert plan.shards[0].closed
+        assert plan.quotient_reach[0] == frozenset({0})
+        # The count is a target, not a promise — but shards are never
+        # empty, so tiny graphs yield fewer shards than asked for.
+        tiny = partition_graph(DynamicDiGraph(edges=[(0, 1)]), 8)
+        assert 1 <= tiny.num_shards <= 2
+        assert all(s.vertices for s in tiny.shards)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_graph(DynamicDiGraph(edges=[(0, 1)]), 0)
+
+    def test_summary_is_plain_data(self):
+        plan = partition_graph(chain_graph(), 3)
+        summary = plan.summary()
+        assert summary["num_shards"] == plan.num_shards
+        assert len(summary["edge_volumes"]) == plan.num_shards
+
+
+# ----------------------------------------------------------------------
+# Worker fleet (tier 2: spawns processes; needs numpy kernels)
+# ----------------------------------------------------------------------
+needs_fleet = pytest.mark.skipif(
+    not HAVE_NUMPY or ShardRouter is None,
+    reason="shard workers need numpy kernels",
+)
+
+
+def shm_segments():
+    return glob.glob("/dev/shm/ifca*")
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One spawned K=3 fleet shared by the read-only router tests."""
+    if not HAVE_NUMPY or ShardRouter is None:
+        pytest.skip("shard workers need numpy kernels")
+    graph = chain_graph()
+    router = ShardRouter(graph, 3, call_timeout_s=20.0)
+    yield graph, router
+    router.close()
+
+
+@needs_fleet
+@pytest.mark.shard
+class TestRouter:
+    def test_batch_matches_oracle(self, fleet):
+        graph, router = fleet
+        pairs = sample_pairs(graph, 200, seed=5)
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not unresolved  # healthy fleet, known endpoints, no budget
+        hows = set()
+        for (s, t), (answer, how) in resolved.items():
+            assert answer == is_reachable_bfs(graph, s, t), (s, t, how)
+            hows.add(how)
+        # The chain graph must exercise both worker paths, not just the
+        # summary rules.
+        assert "wave" in hows or "scc" in hows
+        assert "cross" in hows
+
+    def test_unknown_endpoints_are_unresolved(self, fleet):
+        graph, router = fleet
+        resolved, unresolved = router.execute_batch([(1, 10**9), (10**9, 1)])
+        assert not resolved
+        assert len(unresolved) == 2
+
+    def test_stats_surface(self, fleet):
+        _, router = fleet
+        stats = router.stats()
+        assert stats["plan"]["num_shards"] == router.num_shards
+        assert stats["healthy"] is True
+        assert stats["workers_alive"] == router.num_shards
+        assert stats["counters"].get("deploys", 0) >= 1
+
+    def test_zero_edge_ceiling_unresolves_searches(self, fleet):
+        graph, router = fleet
+        pairs = sample_pairs(graph, 60, seed=6)
+        resolved, unresolved = router.execute_batch(pairs, edge_ceiling=0)
+        # Summary verdicts (scc/class/quotient/deg) are free and still
+        # fire; anything needing a worker search must come back
+        # unresolved rather than wrong.
+        for (s, t), (answer, how) in resolved.items():
+            assert how in {"scc", "class", "class-neg", "quotient", "deg"}
+            assert answer == is_reachable_bfs(graph, s, t)
+        assert unresolved
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_fleet_refresh_kill_cleanup():
+    """Lifecycle in one spawn session: in-place swap on refresh, worker
+    death contained as unresolved (never wrong), segments unlinked on
+    close."""
+    graph = chain_graph(num_cycles=20)
+    pairs = sample_pairs(graph, 120, seed=7)
+    preexisting = set(shm_segments())  # e.g. the module fixture's fleet
+    router = ShardRouter(graph, 2, call_timeout_s=20.0)
+    try:
+        assert set(shm_segments()) - preexisting
+        # First refresh changes the shard count (3 -> 2 on this graph),
+        # so the router tears down and respawns against the new plan.
+        updated = graph.copy()
+        updated.add_edge(0, 97)
+        router.refresh(updated)
+        assert router.version == updated.version
+        assert router.counters.get("deploys") == 2
+        # Second refresh keeps the count: same workers, segments swapped
+        # in place.
+        updated = updated.copy()
+        updated.add_edge(116, 117)
+        workers_before = list(router._workers)
+        router.refresh(updated)
+        assert router.version == updated.version
+        assert router.counters.get("swaps") == 1
+        assert router._workers == workers_before
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not unresolved
+        for (s, t), (answer, _) in resolved.items():
+            assert answer == is_reachable_bfs(updated, s, t)
+
+        # Kill a worker: its shard's searches become unresolved, the
+        # rest keep answering, nothing wedges and nothing lies.
+        router._workers[0].process.kill()
+        router._workers[0].process.join(5)
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not router.healthy  # the failed call marked the worker dead
+        assert set(resolved) | set(unresolved) == set(pairs)
+        assert not set(resolved) & set(unresolved)
+        for (s, t), (answer, _) in resolved.items():
+            assert answer == is_reachable_bfs(updated, s, t)
+    finally:
+        router.close()
+    # No leaked shared-memory segments from this fleet.
+    assert set(shm_segments()) <= preexisting
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_sharded_service_end_to_end():
+    """ReachabilityService(shards=K): oracle equality, stale-fleet
+    correctness after an update, threshold-triggered refresh."""
+    from repro.service import ReachabilityService
+
+    graph = chain_graph(num_cycles=24)
+    pairs = sample_pairs(graph, 150, seed=8)
+    with ReachabilityService(
+        graph.copy(), shards=2, num_supportive=0, cache_capacity=4,
+        shard_refresh_threshold=3,
+    ) as svc:
+        outcomes = svc.query_batch(pairs, strategy="bitparallel")
+        for (s, t), outcome in zip(pairs, outcomes):
+            assert outcome.answer == is_reachable_bfs(graph, s, t)
+        assert svc.router is not None and svc.router.healthy
+        stats = svc.stats()
+        assert stats["counters"].get("shard_batches", 0) >= 1
+        assert stats["counters"].get("shard_resolved", 0) > 0
+        assert "shards" in stats
+
+        # Update: the fleet is stale for the next batches but answers
+        # must stay exact (stale routes are skipped, local path serves).
+        svc.add_edge(0, 61)
+        updated = graph.copy()
+        updated.add_edge(0, 61)
+        outcomes = svc.query_batch(pairs[:60], strategy="bitparallel")
+        for (s, t), outcome in zip(pairs[:60], outcomes):
+            assert outcome.answer == is_reachable_bfs(updated, s, t)
+        # Enough batches at the new version trigger one refresh.
+        for _ in range(4):
+            svc.query_batch(pairs[:20], strategy="bitparallel")
+        assert svc.router.version == svc.graph.version
+
+
+def test_service_shard_fallback_without_kernels():
+    """shards=K with kernels disabled degrades to the local path — no
+    router, exact answers (covers the no-numpy CI leg too)."""
+    from repro.service import ReachabilityService
+
+    graph = chain_graph(num_cycles=10)
+    pairs = sample_pairs(graph, 40, seed=9)
+    with ReachabilityService(graph.copy(), shards=4, use_kernels=False) as svc:
+        outcomes = svc.query_batch(pairs)
+        for (s, t), outcome in zip(pairs, outcomes):
+            assert outcome.answer == is_reachable_bfs(graph, s, t)
+        assert svc.router is None
+        assert svc.stats()["counters"].get("shard_batches", 0) == 0
