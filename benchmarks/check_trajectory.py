@@ -6,7 +6,8 @@ when a performance claim regressed by more than the tolerance.
 
 Two classes of metric:
 
-* **Ratio metrics** (``speedup_vs_scalar``, ``speedup_vs_single``) are
+* **Ratio metrics** (``speedup_vs_scalar``, ``speedup_vs_single``,
+  ``speedup_vs_nolabels``) are
   machine-portable — a 6x speedup should be ~6x on any host — so they
   gate the build: a fresh ratio below ``(1 - tolerance)`` of the
   committed one fails.
@@ -33,7 +34,11 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-GATED_METRICS = ("speedup_vs_scalar", "speedup_vs_single")
+GATED_METRICS = (
+    "speedup_vs_scalar",
+    "speedup_vs_single",
+    "speedup_vs_nolabels",
+)
 REPORTED_METRICS = ("queries_per_s",)
 KEY_COLUMNS = ("measurement", "strategy", "shards")
 

@@ -220,6 +220,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(--no-push-kernels keeps only the BiBFS read-path kernels)",
     )
     sb.add_argument(
+        "--labels",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="prefilter queries through the incremental DL/BL label tier "
+        "(--no-labels drops the tier; no-op without numpy)",
+    )
+    sb.add_argument(
+        "--label-bits",
+        type=int,
+        default=256,
+        help="label width per side in bits (multiple of 64; word 0 is "
+        "the landmark word, the rest bloom words)",
+    )
+    sb.add_argument(
         "--freeze-threshold",
         type=int,
         default=2,
@@ -612,6 +626,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"{deletes} deletes) on n={graph.num_vertices} m={graph.num_edges} "
         f"with {args.workers} workers "
         f"(csr kernels {'on' if args.kernels else 'off'}, "
+        f"labels {'on' if args.labels else 'off'}, "
         f"shards={args.shards or 'off'})"
     )
     deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
@@ -624,6 +639,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         deadline_s=deadline_s,
         use_kernels=args.kernels,
         push_kernels=args.push_kernels,
+        use_labels=args.labels,
+        label_bits=args.label_bits,
         csr_freeze_threshold=args.freeze_threshold,
         journal=args.journal,
         max_pending=args.max_pending,

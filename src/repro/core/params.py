@@ -85,6 +85,16 @@ class IFCAParams:
     #: params object can describe a full deployment and flow through
     #: config pipelines alongside the query-time tunables.
     shards: int = 0
+    #: Stand up the incremental DL/BL label tier
+    #: (:mod:`repro.graph.labels`) as the serving ladder's third pruner.
+    #: Like ``shards`` this is a deployment descriptor the engine itself
+    #: ignores — the serving layer reads it; without numpy the tier is
+    #: skipped regardless.
+    use_labels: bool = True
+    #: Bits per label side per vertex (a multiple of 64, >= 64): word 0
+    #: is the exact landmark word, the rest are bloom words. More bits
+    #: sharpen the negative rule at linear memory/AND cost.
+    label_bits: int = 256
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -109,6 +119,8 @@ class IFCAParams:
             raise ValueError("budget_check_interval must be positive")
         if self.shards < 0:
             raise ValueError("shards must be non-negative")
+        if self.label_bits < 64 or self.label_bits % 64:
+            raise ValueError("label_bits must be a positive multiple of 64")
 
     def with_overrides(self, **kwargs: object) -> "IFCAParams":
         """A copy with some fields replaced (frozen-dataclass convenience)."""

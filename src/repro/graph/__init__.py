@@ -15,14 +15,19 @@ from repro.graph.traversal import (
 
 if HAVE_NUMPY:
     from repro.graph.snapshot import CSRSnapshot
+    from repro.graph.labels import LabelIndex
 else:  # pragma: no cover - the no-numpy environment only
     CSRSnapshot = None  # type: ignore[assignment, misc]
+    LabelIndex = None  # type: ignore[assignment, misc]
+from repro.graph.labels import labels_available
 
 __all__ = [
     "DynamicDiGraph",
     "DynamicDAG",
     "TransitiveClosure",
     "CSRSnapshot",
+    "LabelIndex",
+    "labels_available",
     "GraphSummary",
     "summarize",
     "HAVE_NUMPY",

@@ -44,6 +44,13 @@ Pair = Tuple[int, int]
 CheckFn = Callable[[int, int], Optional[Tuple[bool, str]]]
 #: ``cache_get(s, t)`` -> cached answer or ``None``.
 CacheFn = Callable[[int, int], Optional[bool]]
+#: ``label_filter(pairs)`` -> per-pair verdicts aligned with ``pairs``
+#: (``>0`` exact positive, ``<0`` exact negative, ``0`` abstain), or
+#: ``None`` when the label tier is unavailable/erroring. One vectorized
+#: gather-and-AND over the DL/BL matrices — the whole point is that it
+#: costs one call for the entire batch (see
+#: :meth:`repro.graph.labels.LabelIndex.query_many`).
+LabelFilterFn = Callable[[Sequence[Pair]], Optional[Sequence[int]]]
 
 
 @dataclass(frozen=True)
@@ -64,7 +71,7 @@ class BatchPlan:
     """What the planner decided for one batch."""
 
     #: Distinct pairs resolved without search: pair -> (answer, via, detail)
-    #: with ``via`` one of ``"fastpath"`` | ``"cache"``.
+    #: with ``via`` one of ``"fastpath"`` | ``"labels"`` | ``"cache"``.
     resolved: Dict[Pair, Tuple[bool, str, str]] = field(default_factory=dict)
     #: Distinct pairs that need a search, in wave order.
     pending: List[Pair] = field(default_factory=list)
@@ -72,10 +79,15 @@ class BatchPlan:
     waves: List[Wave] = field(default_factory=list)
     #: Duplicate occurrences coalesced away (len(queries) - distinct).
     dedup_saved: int = 0
+    #: Pairs the vectorized label prefilter answered (subset of resolved).
+    label_pos: int = 0
+    label_neg: int = 0
 
     @property
     def prefilter_hits(self) -> int:
-        return len(self.resolved)
+        """Pairs the per-pair (fastpath/cache) prefilter resolved — label
+        verdicts are counted separately as ``label_pos``/``label_neg``."""
+        return len(self.resolved) - self.label_pos - self.label_neg
 
 
 def _wave_lead(graph: DynamicDiGraph, pairs: Sequence[Pair]) -> str:
@@ -99,9 +111,15 @@ def plan_batch(
     graph: DynamicDiGraph,
     check: Optional[CheckFn] = None,
     cache_get: Optional[CacheFn] = None,
+    label_filter: Optional[LabelFilterFn] = None,
     max_wave_lanes: int = 64,
 ) -> BatchPlan:
-    """Dedup, pre-filter, and pack one batch into kernel waves."""
+    """Dedup, pre-filter, and pack one batch into kernel waves.
+
+    ``label_filter`` runs *after* the per-pair ladder over everything it
+    left pending — one vectorized gather over the label matrices kills
+    exact positives and negatives before any wave is packed.
+    """
     if max_wave_lanes < 1:
         raise ValueError("max_wave_lanes must be positive")
     plan = BatchPlan()
@@ -135,6 +153,21 @@ def plan_batch(
             plan.resolved[pair] = (cached, "cache", "")
             continue
         plan.pending.append(pair)
+
+    if label_filter is not None and plan.pending:
+        verdicts = label_filter(plan.pending)
+        if verdicts is not None:
+            survivors: List[Pair] = []
+            for pair, verdict in zip(plan.pending, verdicts):
+                if verdict > 0:
+                    plan.resolved[pair] = (True, "labels", "label-pos")
+                    plan.label_pos += 1
+                elif verdict < 0:
+                    plan.resolved[pair] = (False, "labels", "label-neg")
+                    plan.label_neg += 1
+                else:
+                    survivors.append(pair)
+            plan.pending = survivors
 
     plan.pending, plan.waves = pack_waves(
         plan.pending, graph=graph, max_wave_lanes=max_wave_lanes

@@ -79,6 +79,13 @@ class ReplayResult:
             "batch_auto_bitparallel": counters.get("batch_auto_bitparallel", 0),
             "batch_auto_scalar": counters.get("batch_auto_scalar", 0),
             "batch_wave_failures": counters.get("batch_wave_failures", 0),
+            # Label-tier observability: hit split, incremental update
+            # volume, and staleness ride the same flat row.
+            "label_hits_pos": counters.get("label_hits_pos", 0),
+            "label_hits_neg": counters.get("label_hits_neg", 0),
+            "label_updates": counters.get("label_updates", 0),
+            "label_rebuilds": counters.get("label_rebuilds", 0),
+            "label_staleness": counters.get("label_staleness", 0),
         }
 
 

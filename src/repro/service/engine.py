@@ -99,6 +99,7 @@ from repro.graph import kernels
 from repro.graph.bitsearch import csr_bit_bibfs
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.journal import JournalReplayError, UpdateJournal
+from repro.graph.labels import LabelIndex, labels_available
 from repro.service.batcher import BatchCostModel, CacheFn, plan_batch
 from repro.service.cache import VersionedQueryCache
 from repro.service.concurrency import RWLock
@@ -252,6 +253,17 @@ class ReachabilityService:
     shard_call_timeout_s:
         Per-message worker round-trip timeout; a worker that exceeds it
         is declared dead and its pairs fall back locally.
+    use_labels:
+        Stand up the incremental DL/BL label tier
+        (:class:`~repro.graph.labels.LabelIndex`) as the third pruner:
+        fast path -> labels -> cache -> engine on the scalar ladder, and
+        one vectorized prefilter per batch/route. Skipped without numpy.
+    label_bits:
+        Bits per label side per vertex (multiple of 64; word 0 is the
+        exact landmark word, the rest bloom words).
+    label_staleness_threshold:
+        Dirty-row fraction past which the lazy repair abandons partial
+        rebuilds for a full one.
     fallback_factory:
         Builds the engine-stage fallback method (default: a dict-substrate
         ``IFCAMethod`` with all kernels off — deliberately not sharing the
@@ -288,6 +300,9 @@ class ReachabilityService:
         shards: int = 0,
         shard_refresh_threshold: int = 8,
         shard_call_timeout_s: float = 30.0,
+        use_labels: bool = True,
+        label_bits: int = 256,
+        label_staleness_threshold: float = 0.25,
         fallback_factory: Optional[
             Callable[[DynamicDiGraph], ReachabilityMethod]
         ] = None,
@@ -297,7 +312,13 @@ class ReachabilityService:
             factory = method_factory
         else:
             factory = lambda g: IFCAMethod(  # noqa: E731
-                g, IFCAParams(use_push_kernels=push_kernels, shards=shards)
+                g,
+                IFCAParams(
+                    use_push_kernels=push_kernels,
+                    shards=shards,
+                    use_labels=use_labels,
+                    label_bits=label_bits,
+                ),
             )
         self.method = factory(self.graph)
         if fallback_factory is None:
@@ -345,6 +366,23 @@ class ReachabilityService:
         self._router_demand = 0
         self._router_demand_version = -1
         self._router_failures = 0
+
+        # The DL/BL label tier: the ladder's third pruner, between the
+        # O'Reach fast path and the cache/engine. Numpy-only; a failed
+        # build just leaves the tier off (counted) — labels are an
+        # acceleration, never a dependency.
+        self._labels: Optional[LabelIndex] = None
+        self._labels_disabled = False
+        self._label_failures = 0
+        if use_labels and labels_available():
+            try:
+                self._labels = LabelIndex(
+                    self.graph,
+                    label_bits=label_bits,
+                    staleness_threshold=label_staleness_threshold,
+                )
+            except Exception:
+                self._stats.incr("stage_errors_labels")
 
         self._policies = dict(stage_policies) if stage_policies else {}
         self._breaker = CircuitBreaker(breaker_failures, breaker_probe_s)
@@ -489,6 +527,7 @@ class ReachabilityService:
             if effect.changed:
                 self._journal_record(insert, u, v, effect.version)
             self._note_update(effect, "inserts" if insert else "deletes")
+            self._labels_note(effect, u, v, insert)
         self._stats.observe_latency("update", time.perf_counter() - start)
         return effect
 
@@ -498,7 +537,42 @@ class ReachabilityService:
         with self._lock.write_timeout(timeout):
             effect = self._pruner.add_vertex(v)
             self._note_update(effect, "vertex_adds")
+            if self._labels is not None and effect.changed:
+                try:
+                    self._labels.note_vertex(v)
+                except Exception:
+                    self._labels_quarantine()
         return effect
+
+    def _labels_note(
+        self, effect: UpdateEffect, u: int, v: int, insert: bool
+    ) -> None:
+        """Forward one applied mutation to the label tier (write lock held).
+
+        A note hook that fails mid-propagation leaves labels in an
+        unknown state, so containment is quarantine: every row dirty and
+        the missing flag up — both rule directions abstain until the
+        lazy rebuild replaces the state wholesale.
+        """
+        if self._labels is None or not effect.changed:
+            return
+        try:
+            if insert:
+                self._labels.note_insert(u, v)
+            else:
+                self._labels.note_delete(
+                    u, v,
+                    removes_reachability=effect.removes_reachability,
+                )
+        except Exception:
+            self._labels_quarantine()
+
+    def _labels_quarantine(self) -> None:
+        self._stats.incr("stage_errors_labels")
+        try:
+            self._labels.invalidate()
+        except Exception:
+            self._labels_disabled = True
 
     def apply_journal_record(self, record: Dict) -> Optional[UpdateEffect]:
         """Apply one shipped journal record — the replication write path.
@@ -540,6 +614,7 @@ class ReachabilityService:
                 )
             self._journal_record(insert, u, v, effect.version)
             self._note_update(effect, "inserts" if insert else "deletes")
+            self._labels_note(effect, u, v, insert)
             self._stats.incr("replica_applied_records")
         self._stats.observe_latency("update", time.perf_counter() - start)
         return effect
@@ -824,6 +899,12 @@ class ReachabilityService:
                     self._fire(stage)
                 except Exception:
                     self._stats.incr(f"stage_errors_{stage}")
+            label_filter = self._label_filter_fn()
+            if label_filter is not None:
+                try:
+                    self._labels.observe_query()
+                except Exception:
+                    self._stats.incr("stage_errors_labels")
             survivors: Sequence[Tuple[int, int]] = queries
             probe_cache: Optional[CacheFn] = prefilter_cache_get
             if self._shards >= 2:
@@ -867,7 +948,7 @@ class ReachabilityService:
                         self._stats.incr("batch_prefilter_hits", hits)
                         self._stats.incr("queries", hits)
                 routed = (
-                    self._route_shards(unseen, version, deadline)
+                    self._route_shards(unseen, version, deadline, label_filter)
                     if unseen
                     else {}
                 )
@@ -875,6 +956,7 @@ class ReachabilityService:
                     self._stats.incr("cache_misses", len(routed))
                     self._stats.incr("queries", len(routed))
                     searched = []
+                    routed_label_pos = routed_label_neg = 0
                     for pair, (answer, how) in routed.items():
                         outcomes[pair] = QueryOutcome(
                             pair[0], pair[1], answer, True, "shard",
@@ -882,6 +964,14 @@ class ReachabilityService:
                         )
                         if how == "wave" or how == "cross":
                             searched.append((pair, answer))
+                        elif how == "label-pos":
+                            routed_label_pos += 1
+                        elif how == "label-neg":
+                            routed_label_neg += 1
+                    if routed_label_pos:
+                        self._stats.incr("label_hits_pos", routed_label_pos)
+                    if routed_label_neg:
+                        self._stats.incr("label_hits_neg", routed_label_neg)
                     # Only search verdicts earn a cache slot: a rule
                     # verdict re-derives in O(1) on the next route, so
                     # caching it would just evict entries that saved
@@ -900,6 +990,7 @@ class ReachabilityService:
                 graph=self.graph,
                 check=prefilter_check,
                 cache_get=probe_cache,
+                label_filter=label_filter,
                 max_wave_lanes=self._batch_wave_lanes,
             )
             self._stats.observe_latency(
@@ -908,9 +999,15 @@ class ReachabilityService:
             self._stats.incr("batched_dedup", plan.dedup_saved)
             if plan.prefilter_hits:
                 self._stats.incr("batch_prefilter_hits", plan.prefilter_hits)
+            if plan.label_pos:
+                self._stats.incr("label_hits_pos", plan.label_pos)
+            if plan.label_neg:
+                self._stats.incr("label_hits_neg", plan.label_neg)
             for pair, (answer, via, detail) in plan.resolved.items():
                 if via == "fastpath":
                     self._stats.fastpath_hit(detail)
+                elif via == "labels":
+                    pass  # tallied above from the plan's label counters
                 else:
                     self._stats.incr("cache_hits")
                 outcomes[pair] = QueryOutcome(
@@ -1030,6 +1127,41 @@ class ReachabilityService:
             return None
 
     # ------------------------------------------------------------------
+    # The label tier (third pruner; shared by scalar, batch, and router)
+    # ------------------------------------------------------------------
+    def _label_filter_fn(self):
+        """The batch-facing label surface: a callable mapping a pair list
+        to aligned int8 verdicts (``1``/``-1``/``0``), or ``None`` when
+        the tier is off. Errors (injected or real) are contained inside
+        the callable — the caller sees an abstaining filter, never an
+        exception."""
+        labels = self._labels
+        if labels is None or self._labels_disabled:
+            return None
+
+        def filter_pairs(pairs):
+            try:
+                self._fire("labels")
+                verdicts = labels.filter_pairs(pairs)
+            except Exception:
+                self._stats.incr("stage_errors_labels")
+                self._note_label_failure()
+                return None
+            self._label_failures = 0
+            return verdicts
+
+        return filter_pairs
+
+    def _note_label_failure(self) -> None:
+        """Contain a label-stage error; repeated *consecutive* failures
+        disable the tier for the service's lifetime (mirroring the shard
+        router's deploy-failure policy) — the ladder below answers
+        everything regardless."""
+        self._label_failures += 1
+        if self._label_failures >= 16:
+            self._labels_disabled = True
+
+    # ------------------------------------------------------------------
     # Shard routing (runs under the batch read lock)
     # ------------------------------------------------------------------
     def _route_shards(
@@ -1037,6 +1169,7 @@ class ReachabilityService:
         pending: List[Tuple[int, int]],
         version: int,
         deadline: Optional[float],
+        label_filter=None,
     ) -> Dict[Tuple[int, int], Tuple[bool, str]]:
         """Route one batch's cache-missing pairs through the shard fleet.
 
@@ -1057,6 +1190,7 @@ class ReachabilityService:
                 pending,
                 deadline=deadline,
                 edge_ceiling=self.engine_edge_budget,
+                label_filter=label_filter,
             )
         except Exception:
             self._stats.incr("stage_errors_shard")
@@ -1168,6 +1302,35 @@ class ReachabilityService:
                     source, target, answer, True, "fastpath", version, rule
                 ),
             )
+
+        labels = self._labels
+        if labels is not None and not self._labels_disabled:
+            start = time.perf_counter()
+            verdict = None
+            try:
+                self._fire("labels")
+                labels.observe_query()
+                verdict = labels.check(source, target)
+            except Exception:
+                self._stats.incr("stage_errors_labels")
+                self._note_label_failure()
+            else:
+                self._label_failures = 0
+            self._stats.observe_latency("labels", time.perf_counter() - start)
+            if verdict is not None:
+                rule = "label-pos" if verdict else "label-neg"
+                self._stats.incr(
+                    "label_hits_pos" if verdict else "label_hits_neg"
+                )
+                return QueryPlan(
+                    source,
+                    target,
+                    version,
+                    PLAN_RESOLVED,
+                    outcome=QueryOutcome(
+                        source, target, verdict, True, "labels", version, rule
+                    ),
+                )
 
         start = time.perf_counter()
         try:
@@ -1500,6 +1663,21 @@ class ReachabilityService:
         counters["breaker_trips"] = self._breaker.trips  # type: ignore[index]
         counters["breaker_probes"] = self._breaker.probes  # type: ignore[index]
         snapshot["breaker_state"] = self._breaker.state
+        if self._labels is not None:
+            label_summary = self._labels.summary()
+            counters["label_updates"] = (  # type: ignore[index]
+                label_summary["updates"]
+            )
+            counters["label_rebuilds"] = (  # type: ignore[index]
+                label_summary["full_rebuilds"]
+            )
+            counters["label_partial_rebuilds"] = (  # type: ignore[index]
+                label_summary["partial_rebuilds"]
+            )
+            counters["label_staleness"] = (  # type: ignore[index]
+                label_summary["stale_rows"]
+            )
+            snapshot["labels"] = label_summary
         if self._injector is not None:
             snapshot["faults_fired"] = self._injector.fired
         if self._journal is not None:
@@ -1521,6 +1699,11 @@ class ReachabilityService:
     @property
     def pruner(self) -> FastPathPruner:
         return self._pruner
+
+    @property
+    def labels(self) -> Optional[LabelIndex]:
+        """The DL/BL label tier (``None`` when off or numpy is absent)."""
+        return self._labels
 
     @property
     def cache(self) -> VersionedQueryCache:

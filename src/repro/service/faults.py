@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 #: ``journal`` the write-ahead append.
 FAULT_STAGES = (
     "fastpath",
+    "labels",
     "cache",
     "freeze",
     "engine",
@@ -277,9 +278,17 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
         "stage-errors",
         (
             FaultSpec("fastpath", "error", probability=0.2),
+            FaultSpec("labels", "error", probability=0.2),
             FaultSpec("cache", "error", probability=0.2),
             FaultSpec("freeze", "error", probability=0.5),
         ),
+    ),
+    # The label tier is fully poisoned: every probe and batch prefilter
+    # errors, so queries must fall through to the cache/engine ladder and
+    # stay exact with the tier contributing nothing.
+    "label-poison": FaultPlan(
+        "label-poison",
+        (FaultSpec("labels", "error", probability=1.0),),
     ),
     # Latency spikes on the hot stages; deadlines should degrade, not hang.
     "slow-stages": FaultPlan(
@@ -316,6 +325,7 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
         "mixed-chaos",
         (
             FaultSpec("fastpath", "error", probability=0.05),
+            FaultSpec("labels", "error", probability=0.05),
             FaultSpec("cache", "error", probability=0.05),
             FaultSpec("freeze", "error", probability=0.2),
             FaultSpec("kernel", "error", probability=0.1),

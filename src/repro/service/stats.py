@@ -17,7 +17,9 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Tuple
 
-#: Pipeline stages tracked by the latency histograms. ``freeze`` is the
+#: Pipeline stages tracked by the latency histograms. ``labels`` is the
+#: DL/BL label-tier probe (one sample per scalar query that reached it;
+#: batch prefilters fold into the planning sample); ``freeze`` is the
 #: per-epoch CSR snapshot build the kernel path amortizes over queries;
 #: ``journal`` is the write-ahead append (fsync batches show as spikes);
 #: ``batch`` is one bit-parallel kernel wave (up to 64 queries per word),
@@ -27,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 #: that fleet (paid once per served graph epoch).
 STAGES = (
     "fastpath",
+    "labels",
     "cache",
     "engine",
     "degraded",

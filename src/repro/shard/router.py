@@ -60,6 +60,8 @@ _VERDICT_CLASS: Verdict = (True, "class")
 _VERDICT_CLASS_NEG: Verdict = (False, "class-neg")
 _VERDICT_QUOTIENT: Verdict = (False, "quotient")
 _VERDICT_DEG: Verdict = (False, "deg")
+_VERDICT_LABEL_POS: Verdict = (True, "label-pos")
+_VERDICT_LABEL_NEG: Verdict = (False, "label-neg")
 
 
 class WorkerDied(Exception):
@@ -305,21 +307,28 @@ class ShardRouter:
         *,
         deadline: Optional[float] = None,
         edge_ceiling: Optional[int] = None,
+        label_filter=None,
     ) -> Tuple[Dict[Pair, Verdict], List[Pair]]:
         """Route one batch; returns ``(resolved, unresolved)``.
 
         ``resolved`` maps each answered pair to ``(answer, how)`` with
         ``how`` one of ``"scc" | "class" | "class-neg" | "quotient" |
-        "deg" | "wave" | "cross"``. ``unresolved`` pairs (worker death, budget,
-        stale, endpoints unknown to the plan) are the caller's to answer
-        locally. ``deadline`` is an absolute ``time.perf_counter()``
-        stamp forwarded to workers as a remaining-time budget.
+        "deg" | "label-pos" | "label-neg" | "wave" | "cross"``.
+        ``unresolved`` pairs (worker death, budget, stale, endpoints
+        unknown to the plan) are the caller's to answer locally.
+        ``deadline`` is an absolute ``time.perf_counter()`` stamp
+        forwarded to workers as a remaining-time budget. ``label_filter``
+        (the service's DL/BL tier, see
+        :mod:`repro.graph.labels`) screens every pair that survived the
+        O(1) rule ladder in one vectorized call before any worker round
+        trip is paid.
         """
         if self._closed or self._plan is None:
             return {}, list(pairs)
         plan = self._plan
         resolved: Dict[Pair, Verdict] = {}
         unresolved: List[Pair] = []
+        searchable: List[Tuple[Pair, int, int]] = []
         intra: Dict[int, List[Pair]] = {}
         cross: List[Pair] = []
 
@@ -376,9 +385,31 @@ class ShardRouter:
                     resolved[pair] = _VERDICT_DEG
                     n_deg += 1
                     continue
-                if ks == kt:
-                    intra.setdefault(ks, []).append(pair)
-                    continue
+                searchable.append((pair, ks, kt))
+
+        if searchable and label_filter is not None:
+            verdicts = label_filter([entry[0] for entry in searchable])
+            if verdicts is not None:
+                survivors: List[Tuple[Pair, int, int]] = []
+                n_label_pos = n_label_neg = 0
+                for entry, verdict in zip(searchable, verdicts):
+                    if verdict > 0:
+                        resolved[entry[0]] = _VERDICT_LABEL_POS
+                        n_label_pos += 1
+                    elif verdict < 0:
+                        resolved[entry[0]] = _VERDICT_LABEL_NEG
+                        n_label_neg += 1
+                    else:
+                        survivors.append(entry)
+                searchable = survivors
+                if n_label_pos:
+                    self._incr("route_label_pos", n_label_pos)
+                if n_label_neg:
+                    self._incr("route_label_neg", n_label_neg)
+        for pair, ks, kt in searchable:
+            if ks == kt:
+                intra.setdefault(ks, []).append(pair)
+            else:
                 cross.append(pair)
 
         self._incr("route_pairs", len(pairs))

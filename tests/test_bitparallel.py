@@ -182,10 +182,13 @@ class TestServiceBatchStrategies:
         graph = _graph_family(family, seed=21)
         rng = random.Random(17)
         pairs = _random_pairs(graph, 400, rng)
-        # num_supportive=0 weakens the fast-path pruner so a healthy share
-        # of pairs survives the prefilter and actually rides a bit wave
-        # (with supportive landmarks the SBM family is fully prefiltered).
-        with ReachabilityService(graph.copy(), seed=0, num_supportive=0) as bit_svc:
+        # num_supportive=0 weakens the fast-path pruner and use_labels=False
+        # drops the label prefilter so a healthy share of pairs survives to
+        # actually ride a bit wave (with either tier on, these families are
+        # fully prefiltered and no kernel would run).
+        with ReachabilityService(
+            graph.copy(), seed=0, num_supportive=0, use_labels=False
+        ) as bit_svc:
             bit = bit_svc.query_batch(pairs, strategy="bitparallel")
             counters = bit_svc.stats()["counters"]
             assert counters["bit_waves"] >= 1
@@ -203,7 +206,9 @@ class TestServiceBatchStrategies:
     def test_auto_strategy_matches_oracle_and_counts_decision(self):
         graph = _graph_family("pa", seed=8)
         pairs = _random_pairs(graph, 300, random.Random(4))
-        with ReachabilityService(graph.copy(), seed=0) as svc:
+        # use_labels=False: the label prefilter would resolve every pair,
+        # leaving no pending batch for the auto cutover to decide on.
+        with ReachabilityService(graph.copy(), seed=0, use_labels=False) as svc:
             outcomes = svc.query_batch(pairs, strategy="auto")
             counters = svc.stats()["counters"]
             assert (
@@ -239,7 +244,9 @@ class TestServiceBatchStrategies:
     def test_cache_reuse_across_batches(self):
         graph = _graph_family("pa", seed=12)
         pairs = _random_pairs(graph, 128, random.Random(2))
-        with ReachabilityService(graph, seed=0) as svc:
+        # use_labels=False: label verdicts are recomputed per batch, never
+        # cached, so the cache-reuse contract is about kernel answers.
+        with ReachabilityService(graph, seed=0, use_labels=False) as svc:
             svc.query_batch(pairs, strategy="bitparallel")
             first = svc.stats()["counters"]
             svc.query_batch(pairs, strategy="bitparallel")
@@ -287,7 +294,7 @@ class TestServiceBatchStrategies:
             raise RuntimeError("injected kernel fault")
 
         monkeypatch.setattr(engine_mod, "csr_bit_bibfs", exploding)
-        with ReachabilityService(graph.copy(), seed=0) as svc:
+        with ReachabilityService(graph.copy(), seed=0, use_labels=False) as svc:
             outcomes = svc.query_batch(pairs, strategy="bitparallel")
             counters = svc.stats()["counters"]
             assert counters["batch_wave_failures"] >= 1

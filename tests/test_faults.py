@@ -195,7 +195,12 @@ def _connected_pair_graph():
 class TestContainment:
     def test_fastpath_and_cache_errors_fall_through(self):
         plan = FaultPlan(
-            "t", (FaultSpec("fastpath"), FaultSpec("cache"))
+            "t",
+            (
+                FaultSpec("fastpath"),
+                FaultSpec("labels"),
+                FaultSpec("cache"),
+            ),
         )
         with ReachabilityService(
             _connected_pair_graph(), num_workers=1, fault_plan=plan
@@ -204,6 +209,7 @@ class TestContainment:
             assert out.answer is True and out.confident
             counters = service.stats()["counters"]
             assert counters["stage_errors_fastpath"] >= 1
+            assert counters["stage_errors_labels"] >= 1
             assert counters["stage_errors_cache"] >= 1
 
     def test_engine_error_takes_fallback(self):
@@ -212,6 +218,7 @@ class TestContainment:
             _connected_pair_graph(),
             num_workers=1,
             num_supportive=0,
+            use_labels=False,
             fault_plan=plan,
         ) as service:
             out = service.query(0, 19)
@@ -227,6 +234,7 @@ class TestContainment:
             _connected_pair_graph(),
             num_workers=1,
             num_supportive=0,
+            use_labels=False,
             fault_plan=plan,
         ) as service:
             out = service.query(0, 19)
@@ -242,6 +250,7 @@ class TestContainment:
             _connected_pair_graph(),
             num_workers=1,
             num_supportive=0,
+            use_labels=False,
             fault_plan=plan,
         ) as service:
             out = service.query(0, 19)
@@ -280,6 +289,7 @@ class TestContainment:
             _connected_pair_graph(),
             num_workers=1,
             num_supportive=0,
+            use_labels=False,
             cache_capacity=1,
             breaker_failures=2,
             breaker_probe_s=3600.0,  # no probe during this test
@@ -305,6 +315,7 @@ class TestContainment:
             path,
             num_workers=1,
             num_supportive=0,
+            use_labels=False,
             cache_capacity=1,
             engine_edge_budget=1,
             degrade_budget=50,
@@ -346,6 +357,7 @@ class TestVerdictProbe:
             fallback_factory=lambda g: IFCAMethod(g),
             num_workers=1,
             num_supportive=0,
+            use_labels=False,
             cache_capacity=1,
             breaker_failures=1,
             breaker_probe_s=1.0,
@@ -373,6 +385,7 @@ class TestAdmissionControl:
             _connected_pair_graph(),
             num_workers=1,
             num_supportive=0,
+            use_labels=False,
             cache_capacity=1,
             max_pending=2,
             fault_plan=plan,
@@ -401,6 +414,7 @@ class TestCooperativeCancellation:
             graph,
             num_workers=2,
             num_supportive=0,
+            use_labels=False,
             cache_capacity=1,
             deadline_s=0.0,  # already expired at submission
             degrade_budget=10_000,
@@ -430,7 +444,8 @@ class TestCooperativeCancellation:
         for future in futures:
             out = future.result()  # resolves; nothing hangs or raises
             assert out.via in (
-                "fastpath", "cache", "engine", "engine-fallback", "degraded",
+                "fastpath", "labels", "cache", "engine", "engine-fallback",
+                "degraded",
             )
 
 

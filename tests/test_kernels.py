@@ -237,8 +237,14 @@ class TestServiceIntegration:
         g = preferential_attachment_graph(300, 3, seed=23, reciprocal=0.2)
         queries = generate_queries(g, 30, seed=7)
         truth = {(s, t): t in bfs_reachable(g, s) for s, t in queries}
+        # use_labels=False: the label tier would resolve every query before
+        # the engine, so no search would ever trigger a CSR freeze.
         with ReachabilityService(
-            g.copy(), num_workers=2, use_kernels=True, csr_freeze_threshold=1
+            g.copy(),
+            num_workers=2,
+            use_kernels=True,
+            use_labels=False,
+            csr_freeze_threshold=1,
         ) as service:
             for s, t in queries:
                 outcome = service.query(s, t)

@@ -1,0 +1,477 @@
+"""The DL/BL label tier: soundness properties and service integration.
+
+The tier's whole value proposition is *one-sided exactness*: a positive
+verdict may only come from a real landmark path, a negative verdict only
+from a real containment violation, and anything else must abstain. Every
+suite here drives that contract against a BFS oracle — on static builds,
+under mixed insert/delete churn with lazy repair interleaved, and through
+the full service ladder with faults poisoning the tier.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import IFCAParams
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.labels import labels_available
+from repro.graph.traversal import is_reachable_bfs
+from repro.service import ReachabilityService
+from repro.service.batcher import plan_batch
+from repro.service.engine import PLAN_RESOLVED
+from repro.service.faults import FaultPlan, FaultSpec, plan_by_name
+
+from tests.conftest import random_graph
+
+pytestmark = pytest.mark.labels
+
+needs_numpy = pytest.mark.skipif(
+    not labels_available(), reason="the label tier needs numpy"
+)
+
+if labels_available():
+    import numpy as np
+
+    from repro.graph.labels import LabelIndex
+
+
+def oracle(graph, s, t):
+    return is_reachable_bfs(graph, s, t)
+
+
+def assert_one_sided(idx, graph, pairs):
+    """Every non-abstain verdict must match the oracle, scalar and batch."""
+    batch = idx.filter_pairs(pairs)
+    for (s, t), v in zip(pairs, batch):
+        scalar = idx.check(s, t)
+        truth = oracle(graph, s, t)
+        if scalar is not None:
+            assert scalar == truth, (s, t, scalar)
+        if v > 0:
+            assert truth, (s, t, "false positive")
+        elif v < 0:
+            assert not truth, (s, t, "false negative")
+
+
+# ----------------------------------------------------------------------
+# Static builds
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestBuild:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fresh_build_is_one_sided_exact(self, seed):
+        """Every verdict matches the oracle; abstains are allowed (a true
+        pair with no landmark witness has no positive proof) but both
+        rules must be pulling their weight."""
+        graph = random_graph(150, 400, seed=seed)
+        for i in range(150, 160):  # island: guaranteed negatives exist
+            graph.add_edge(i, i + 1)
+        idx = LabelIndex(graph, label_bits=128)
+        rng = random.Random(seed)
+        answered = {True: 0, False: 0}
+        for _ in range(400):
+            s, t = rng.randrange(161), rng.randrange(161)
+            verdict = idx.check(s, t)
+            if verdict is not None:
+                assert verdict == oracle(graph, s, t), (s, t)
+                answered[verdict] += 1
+        assert answered[True] > 0 and answered[False] > 0
+        assert sum(answered.values()) > 200  # the tier answers, mostly
+
+    def test_batch_matches_scalar(self):
+        graph = random_graph(120, 300, seed=7)
+        idx = LabelIndex(graph, label_bits=128)
+        rng = random.Random(7)
+        pairs = [
+            (rng.randrange(120), rng.randrange(120)) for _ in range(300)
+        ]
+        verdicts = idx.filter_pairs(pairs)
+        for (s, t), v in zip(pairs, verdicts):
+            scalar = idx.check(s, t)
+            if v > 0:
+                assert scalar is True
+            elif v < 0:
+                assert scalar is False
+
+    def test_label_bits_validation(self):
+        graph = DynamicDiGraph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            LabelIndex(graph, label_bits=0)
+        with pytest.raises(ValueError):
+            LabelIndex(graph, label_bits=100)
+        with pytest.raises(ValueError):
+            IFCAParams(label_bits=100)
+
+    def test_unknown_vertices_abstain(self):
+        graph = DynamicDiGraph(edges=[(0, 1), (1, 2)])
+        idx = LabelIndex(graph)
+        assert idx.check(0, 99) is None
+        assert idx.check(99, 0) is None
+        assert list(idx.filter_pairs([(0, 99), (99, 0)])) == [0, 0]
+
+
+# ----------------------------------------------------------------------
+# Dynamics: inserts, deletes, lazy repair
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestDynamics:
+    def test_incremental_inserts_equal_fresh_build(self):
+        """In-place OR propagation lands bit-for-bit on the full build."""
+        graph = DynamicDiGraph(vertices=range(50))
+        for i in range(0, 40, 2):
+            graph.add_edge(i, i + 1)
+        landmarks = list(range(50))
+        inc = LabelIndex(graph, label_bits=128, landmarks=landmarks)
+        for u, v in [(1, 2), (3, 4), (10, 20), (20, 30), (5, 40), (41, 0)]:
+            graph.add_edge(u, v)
+            inc.note_insert(u, v)
+        fresh = LabelIndex(graph, label_bits=128, landmarks=landmarks)
+        si, sf = inc._state, fresh._state
+        assert not si.missing
+        assert si.num_dirty_out == 0 and si.num_dirty_in == 0
+        assert np.array_equal(si.dl, sf.dl)
+        assert np.array_equal(si.bl, sf.bl)
+        assert inc.summary()["updates"] == 6
+        assert inc.summary()["full_rebuilds"] == 0
+
+    def test_delete_taints_then_partial_rebuild_restores(self):
+        """A reachability-cutting delete dirties the affected region; the
+        demand-driven partial rebuild restores exactness without a full
+        rebuild."""
+        graph = DynamicDiGraph(
+            edges=[(i, i + 1) for i in range(9)]
+            + [(20 + i, 21 + i) for i in range(5)]
+        )
+        # staleness_threshold=0.9: the dirty region (10 of 16 rows across
+        # both sides) must stay below the full-rebuild escalation bar for
+        # this test to exercise the partial path.
+        idx = LabelIndex(
+            graph, label_bits=128, rebuild_cooldown=1,
+            staleness_threshold=0.9,
+        )
+        assert idx.check(0, 9) is True
+        graph.remove_edge(4, 5)
+        idx.note_delete(4, 5)
+        # The affected rows abstain rather than answer stale.
+        assert idx.check(0, 9) is None
+        assert idx.stale_rows > 0
+        # The untouched island keeps answering exactly.
+        assert idx.check(20, 25) is True
+        idx.observe_query()
+        assert idx.summary()["partial_rebuilds"] == 1
+        assert idx.summary()["full_rebuilds"] == 0
+        assert idx.stale_rows == 0
+        assert idx.check(0, 9) is False
+        assert idx.check(0, 4) is True
+        assert idx.check(5, 9) is True
+
+    def test_redundant_delete_keeps_labels_clean(self):
+        graph = DynamicDiGraph(edges=[(0, 1), (0, 2), (2, 1)])
+        idx = LabelIndex(graph, label_bits=128)
+        graph.remove_edge(0, 1)  # 0 still reaches 1 via 2
+        idx.note_delete(0, 1, removes_reachability=False)
+        assert idx.stale_rows == 0
+        assert idx.check(0, 1) is True
+
+    def test_invalidate_abstains_until_rebuilt(self):
+        graph = DynamicDiGraph(edges=[(0, 1), (1, 2)])
+        idx = LabelIndex(graph, label_bits=128, rebuild_cooldown=1)
+        idx.invalidate()
+        assert idx.check(0, 2) is None
+        assert idx.check(2, 0) is None
+        assert list(idx.filter_pairs([(0, 2), (2, 0)])) == [0, 0]
+        idx.observe_query()
+        assert idx.check(0, 2) is True
+        assert idx.check(2, 0) is False
+        assert idx.summary()["full_rebuilds"] == 1
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_churn_soundness_property(self, seed):
+        """Mixed insert/delete churn with lazy repair interleaved: no
+        false positive from the landmark rule, no false negative from
+        the containment rule, at any intermediate state."""
+        rng = random.Random(seed)
+        n = 120
+        graph = DynamicDiGraph(vertices=range(n))
+        edges = set()
+        for _ in range(300):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v and (u, v) not in edges:
+                graph.add_edge(u, v)
+                edges.add((u, v))
+        idx = LabelIndex(graph, label_bits=128, rebuild_cooldown=8)
+        for step in range(150):
+            action = rng.random()
+            if action < 0.5 or not edges:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v or (u, v) in edges:
+                    continue
+                graph.add_edge(u, v)
+                edges.add((u, v))
+                idx.note_insert(u, v)
+            elif action < 0.85:
+                u, v = rng.choice(sorted(edges))
+                edges.remove((u, v))
+                graph.remove_edge(u, v)
+                idx.note_delete(u, v)
+            else:
+                idx.observe_query()
+            pairs = [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(12)
+            ]
+            assert_one_sided(idx, graph, pairs)
+
+    def test_version_desync_abstains(self):
+        """A graph mutation the tier was never told about must not be
+        answered from the stale matrices."""
+        graph = DynamicDiGraph(edges=[(0, 1)])
+        idx = LabelIndex(graph, label_bits=128)
+        graph.add_edge(1, 2)  # applied behind the tier's back
+        assert idx.check(0, 2) is None
+        assert idx.summary()["stale_abstains"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Batch planner integration
+# ----------------------------------------------------------------------
+class TestPlanBatch:
+    def test_label_filter_resolves_before_waves(self):
+        graph = DynamicDiGraph(
+            edges=[(i, i + 1) for i in range(6)] + [(10, 11)]
+        )
+        pairs = [(0, 5), (5, 0), (0, 11), (1, 4)]
+
+        def fake_filter(pending):
+            verdict = {(0, 5): 1, (5, 0): -1, (0, 11): -1, (1, 4): 0}
+            return [verdict[p] for p in pending]
+
+        plan = plan_batch(pairs, graph=graph, label_filter=fake_filter)
+        assert plan.resolved[(0, 5)] == (True, "labels", "label-pos")
+        assert plan.resolved[(5, 0)] == (False, "labels", "label-neg")
+        assert plan.resolved[(0, 11)] == (False, "labels", "label-neg")
+        assert plan.pending == [(1, 4)]
+        assert plan.label_pos == 1 and plan.label_neg == 2
+        assert plan.prefilter_hits == 0  # labels counted separately
+
+    def test_unavailable_filter_leaves_batch_untouched(self):
+        graph = DynamicDiGraph(edges=[(0, 1), (1, 2)])
+        plan = plan_batch(
+            [(0, 2), (2, 0)], graph=graph, label_filter=lambda pairs: None
+        )
+        assert not plan.resolved
+        assert sorted(plan.pending) == [(0, 2), (2, 0)]
+
+
+# ----------------------------------------------------------------------
+# Service ladder integration
+# ----------------------------------------------------------------------
+class TestServiceIntegration:
+    def _hard_graph(self, seed=9):
+        # Sparse enough that the fast path abstains on plenty of pairs.
+        return random_graph(200, 260, seed=seed)
+
+    @needs_numpy
+    def test_scalar_ladder_resolves_via_labels(self):
+        graph = self._hard_graph()
+        rng = random.Random(1)
+        with ReachabilityService(
+            graph.copy(), num_workers=1, num_supportive=0
+        ) as svc:
+            hits = 0
+            for _ in range(300):
+                s, t = rng.randrange(200), rng.randrange(200)
+                out = svc.query(s, t)
+                assert out.confident
+                assert out.answer == oracle(graph, s, t), (s, t, out.via)
+                hits += out.via == "labels"
+            counters = svc.stats()["counters"]
+            assert hits > 0
+            assert (
+                counters.get("label_hits_pos", 0)
+                + counters.get("label_hits_neg", 0)
+                == hits
+            )
+            assert svc.stats()["labels"]["bits"] == 256
+
+    @needs_numpy
+    def test_label_plan_is_resolved_with_detail(self):
+        graph = DynamicDiGraph(
+            edges=[(i, i + 1) for i in range(8)] + [(20, 21)]
+        )
+        with ReachabilityService(
+            graph, num_workers=1, num_supportive=0
+        ) as svc:
+            plan = svc._plan_query(0, 21, None)
+            assert plan.action == PLAN_RESOLVED
+            assert plan.outcome.via == "labels"
+            assert plan.outcome.detail == "label-neg"
+            assert plan.outcome.answer is False
+            assert plan.outcome.confident
+
+    @needs_numpy
+    def test_batched_ladder_matches_label_free_service(self):
+        graph = self._hard_graph(seed=11)
+        rng = random.Random(2)
+        pairs = [
+            (rng.randrange(200), rng.randrange(200)) for _ in range(256)
+        ]
+        with ReachabilityService(
+            graph.copy(), num_workers=2, use_labels=True
+        ) as on_svc:
+            labelled = on_svc.query_batch(pairs, strategy="bitparallel")
+            on_counters = on_svc.stats()["counters"]
+        with ReachabilityService(
+            graph.copy(), num_workers=2, use_labels=False
+        ) as off_svc:
+            unlabelled = off_svc.query_batch(pairs, strategy="bitparallel")
+        for (s, t), a, b in zip(pairs, labelled, unlabelled):
+            truth = oracle(graph, s, t)
+            assert a.answer == truth and b.answer == truth, (s, t)
+        assert (
+            on_counters.get("label_hits_pos", 0)
+            + on_counters.get("label_hits_neg", 0)
+            > 0
+        )
+
+    @needs_numpy
+    def test_update_path_keeps_labels_exact_through_service(self):
+        graph = self._hard_graph(seed=13)
+        rng = random.Random(3)
+        with ReachabilityService(
+            graph.copy(), num_workers=1, num_supportive=0
+        ) as svc:
+            for step in range(120):
+                u, v = rng.randrange(200), rng.randrange(200)
+                if u == v:
+                    continue
+                if rng.random() < 0.6 and not svc.graph.has_edge(u, v):
+                    svc.add_edge(u, v)
+                    graph.add_edge(u, v)
+                elif svc.graph.has_edge(u, v):
+                    svc.remove_edge(u, v)
+                    graph.remove_edge(u, v)
+                s, t = rng.randrange(200), rng.randrange(200)
+                out = svc.query(s, t)
+                assert out.answer == oracle(graph, s, t), (step, s, t)
+            counters = svc.stats()["counters"]
+            assert counters.get("label_updates", 0) > 0
+
+    def test_no_numpy_tier_is_skipped_not_fatal(self):
+        """use_labels=True without numpy serves exactly, tier absent."""
+        graph = DynamicDiGraph(edges=[(i, i + 1) for i in range(6)])
+        with ReachabilityService(
+            graph, num_workers=1, use_labels=True
+        ) as svc:
+            if labels_available():
+                assert svc.labels is not None
+            else:
+                assert svc.labels is None
+            assert svc.query(0, 6).answer is True
+            assert svc.query(6, 0).answer is False
+            counters = svc.stats()["counters"]
+            if not labels_available():
+                assert "label_hits_pos" not in counters
+                assert "labels" not in svc.stats()
+
+    def test_use_labels_false_never_builds_the_tier(self):
+        graph = DynamicDiGraph(edges=[(0, 1)])
+        with ReachabilityService(graph, use_labels=False) as svc:
+            assert svc.labels is None
+            assert svc.query(0, 1).answer is True
+
+
+# ----------------------------------------------------------------------
+# Fault containment: a poisoned tier must degrade, never corrupt
+# ----------------------------------------------------------------------
+class TestFaultContainment:
+    def test_label_poison_plan_falls_through(self):
+        """Every label probe errors; answers stay exact via the rest of
+        the ladder and the errors are counted."""
+        graph = random_graph(80, 160, seed=21)
+        rng = random.Random(4)
+        with ReachabilityService(
+            graph.copy(),
+            num_workers=1,
+            num_supportive=0,  # weaken the fast path so labels are probed
+            fault_plan=plan_by_name("label-poison"),
+        ) as svc:
+            for _ in range(60):
+                s, t = rng.randrange(80), rng.randrange(80)
+                out = svc.query(s, t)
+                assert out.answer == oracle(graph, s, t), (s, t)
+                assert out.via != "labels"
+            counters = svc.stats()["counters"]
+            if svc.labels is not None:
+                assert counters.get("stage_errors_labels", 0) >= 1
+                assert counters.get("label_hits_pos", 0) == 0
+                assert counters.get("label_hits_neg", 0) == 0
+
+    def test_poisoned_batch_prefilter_still_answers(self):
+        graph = random_graph(80, 160, seed=22)
+        rng = random.Random(5)
+        pairs = [(rng.randrange(80), rng.randrange(80)) for _ in range(64)]
+        with ReachabilityService(
+            graph.copy(),
+            num_workers=2,
+            fault_plan=plan_by_name("label-poison"),
+        ) as svc:
+            outcomes = svc.query_batch(pairs, strategy="bitparallel")
+            for (s, t), out in zip(pairs, outcomes):
+                assert out.answer == oracle(graph, s, t), (s, t)
+
+    @needs_numpy
+    def test_update_hook_failure_quarantines_tier(self, monkeypatch):
+        """A label maintenance error invalidates the tier (abstain-all)
+        instead of leaving a wrong matrix serving verdicts."""
+        graph = DynamicDiGraph(edges=[(i, i + 1) for i in range(6)])
+        with ReachabilityService(
+            graph, num_workers=1, num_supportive=0
+        ) as svc:
+            assert svc.query(0, 6).via == "labels"
+
+            def boom(u, v):
+                raise RuntimeError("label update exploded")
+
+            monkeypatch.setattr(svc.labels, "note_insert", boom)
+            svc.add_edge(50, 51)  # survives; labels quarantined
+            assert svc.graph.has_edge(50, 51)
+            counters = svc.stats()["counters"]
+            assert counters.get("stage_errors_labels", 0) >= 1
+            # The tier abstains now (all rows dirty), the ladder answers.
+            out = svc.query(0, 6)
+            assert out.via != "labels"
+            assert out.answer is True
+
+    @needs_numpy
+    def test_repeated_query_failures_disable_tier(self, monkeypatch):
+        graph = DynamicDiGraph(edges=[(i, i + 1) for i in range(6)])
+        with ReachabilityService(
+            graph, num_workers=1, num_supportive=0
+        ) as svc:
+            def boom(source, target):
+                raise RuntimeError("label check exploded")
+
+            monkeypatch.setattr(svc.labels, "check", boom)
+            for _ in range(20):
+                assert svc.query(0, 6).answer is True
+            assert svc._labels_disabled
+            monkeypatch.undo()
+            # Disabled stays disabled: the tier is never consulted again.
+            assert svc.query(1, 6).via != "labels"
+
+    def test_stage_errors_plan_survives_oracle_check(self):
+        graph = random_graph(100, 220, seed=23)
+        rng = random.Random(6)
+        plan = FaultPlan(
+            "labels-flaky", (FaultSpec("labels", probability=0.5),), seed=1
+        )
+        with ReachabilityService(
+            graph.copy(), num_workers=1, fault_plan=plan
+        ) as svc:
+            for _ in range(120):
+                s, t = rng.randrange(100), rng.randrange(100)
+                out = svc.query(s, t)
+                if out.confident:
+                    assert out.answer == oracle(graph, s, t), (s, t)

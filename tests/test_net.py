@@ -89,7 +89,12 @@ def test_wire_queries_match_bfs_oracle():
 def test_concurrent_wire_queries_coalesce_into_waves():
     async def scenario():
         graph = chain_graph()
-        with ReachabilityService(graph, num_workers=2) as service:
+        # use_labels=False so the coalesced batch is not fully resolved by
+        # the label prefilter — the point is to see it take the batch
+        # pipeline's auto cutover rather than 32 scalar calls.
+        with ReachabilityService(
+            graph, num_workers=2, use_labels=False
+        ) as service:
             # A gathering window makes wave packing deterministic: all
             # 32 concurrent queries are enqueued before the first drain.
             async with serving(
@@ -213,15 +218,27 @@ def test_stats_frame_surfaces_occupancy_and_batch_counters():
                 assert frame["watermark"] == graph.version
                 derived = frame["stats"]["derived"]
                 counters = frame["stats"]["counters"]
-                # The satellite: occupancy and the batch_* family are on
-                # the wire, not just in-process.
+                # The satellite: occupancy, the batch_* family, and the
+                # label-tier counters are on the wire, not just in-process.
                 assert "word_occupancy" in derived
+                # Every batched pair was answered by some tier before a
+                # kernel had to run: prefilter, label matrix, or the auto
+                # cutover actually deciding on surviving pairs.
                 assert (
                     counters.get("batch_auto_bitparallel", 0)
                     + counters.get("batch_auto_scalar", 0)
                     + counters.get("batch_scalar_fallback", 0)
+                    + counters.get("batch_prefilter_hits", 0)
+                    + counters.get("label_hits_pos", 0)
+                    + counters.get("label_hits_neg", 0)
+                    >= 12
+                )
+                assert (
+                    counters.get("label_hits_pos", 0)
+                    + counters.get("label_hits_neg", 0)
                     >= 1
                 )
+                assert frame["stats"]["labels"]["bits"] >= 64
                 assert frame["server"]["net_batches"] == 1
                 assert frame["server"]["net_connections"] == 1
 

@@ -27,6 +27,9 @@ def line_graph():
 def service(**kwargs):
     kwargs.setdefault("num_workers", 1)
     kwargs.setdefault("num_supportive", 0)
+    # These are golden tests for the pre-label ladder stages; the label
+    # tier's own planning contract lives in tests/test_labels.py.
+    kwargs.setdefault("use_labels", False)
     return ReachabilityService(line_graph(), **kwargs)
 
 

@@ -255,7 +255,11 @@ class TestBoundedBiBFS:
 # ----------------------------------------------------------------------
 class TestReachabilityService:
     def test_stage_progression(self, line_graph):
-        with ReachabilityService(line_graph, num_supportive=0) as svc:
+        # use_labels=False: these golden stage assertions pin the pre-label
+        # ladder; the label stage has its own progression tests.
+        with ReachabilityService(
+            line_graph, num_supportive=0, use_labels=False
+        ) as svc:
             out = svc.query(0, 4)
             assert out.via == "engine" and out.answer is True
             again = svc.query(0, 4)
@@ -273,7 +277,9 @@ class TestReachabilityService:
                     assert out.answer == is_reachable_bfs(shadow, s, t), (s, t)
 
     def test_update_invalidates_only_what_it_must(self, line_graph):
-        with ReachabilityService(line_graph, num_supportive=0) as svc:
+        with ReachabilityService(
+            line_graph, num_supportive=0, use_labels=False
+        ) as svc:
             assert svc.query(0, 4).answer is True
             assert svc.query(0, 4).via == "cache"
             # An insertion elsewhere cannot invalidate a positive entry.
@@ -287,7 +293,9 @@ class TestReachabilityService:
             assert out.answer is False
 
     def test_neutral_update_keeps_cache(self, two_scc_graph):
-        with ReachabilityService(two_scc_graph, num_supportive=0) as svc:
+        with ReachabilityService(
+            two_scc_graph, num_supportive=0, use_labels=False
+        ) as svc:
             svc.query(0, 4)
             assert svc.query(0, 4).via == "cache"
             effect = svc.add_edge(0, 2)  # inside the SCC {0,1,2}: neutral
@@ -298,14 +306,18 @@ class TestReachabilityService:
 
     def test_deadline_degrades_instead_of_blocking(self):
         g = DynamicDiGraph(edges=[(i, i + 1) for i in range(30)])
-        with ReachabilityService(g, num_supportive=0, degrade_budget=4) as svc:
+        with ReachabilityService(
+            g, num_supportive=0, degrade_budget=4, use_labels=False
+        ) as svc:
             out = svc.query(0, 29, deadline_s=0.0)
             assert out.via == "degraded"
             assert out.confident is False
             assert svc.stats()["counters"]["degraded"] == 1
 
     def test_degraded_meet_is_cached_and_confident(self, diamond_graph):
-        with ReachabilityService(diamond_graph, num_supportive=0) as svc:
+        with ReachabilityService(
+            diamond_graph, num_supportive=0, use_labels=False
+        ) as svc:
             out = svc.query(0, 3, deadline_s=0.0)
             assert out.via == "degraded" and out.confident and out.answer
             assert svc.query(0, 3).via == "cache"
@@ -615,6 +627,7 @@ class TestCacheConfidentGate:
             path,
             num_workers=1,
             num_supportive=0,
+            use_labels=False,  # labels would answer exactly, no degrade
             deadline_s=0.0,  # expired on arrival: every search degrades
             degrade_budget=10,
             use_kernels=False,
