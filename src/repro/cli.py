@@ -11,6 +11,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro serve GRAPH.txt [--port 7420 --journal WAL.jsonl]
     python -m repro replica HOST:PORT REPLICA.wal [--port 7421]
     python -m repro chaos GRAPH.txt --plan kernel-crash
+    python -m repro chaos-net [--scenario kill-primary] [--artifacts DIR]
     python -m repro reproduce [--quick] [--out results]
     python -m repro report [--markdown]
     python -m repro calibrate-lambda
@@ -420,6 +421,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--seed", type=int, default=0)
     ch.set_defaults(func=cmd_chaos)
+
+    cn = sub.add_parser(
+        "chaos-net",
+        help="network chaos harness: kill -9 the primary under the "
+        "supervisor, SIGKILL/SIGSTOP shard workers, partition a "
+        "replica, inject torn frames — all checked against a BFS oracle",
+    )
+    cn.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        default=None,
+        metavar="NAME",
+        help="scenario to run (repeatable; default: all). One of: "
+        "kill-primary, worker-respawn, stop-worker, partition-replica, "
+        "torn-frames",
+    )
+    cn.add_argument(
+        "--artifacts",
+        default="results/chaos_net_artifacts",
+        help="directory for post-mortem artifacts (journals, supervisor "
+        "log, primary stderr)",
+    )
+    cn.add_argument(
+        "--out",
+        default=None,
+        help="also write the results record JSON here "
+        "(e.g. results/ext_chaos_net.json)",
+    )
+    cn.add_argument("--heartbeat-interval", type=float, default=0.05)
+    cn.add_argument("--heartbeat-misses", type=int, default=3)
+    cn.add_argument("--ops", type=int, default=160)
+    cn.add_argument("--checks", type=int, default=120)
+    cn.add_argument("--seed", type=int, default=0)
+    cn.set_defaults(func=cmd_chaos_net)
 
     rep = sub.add_parser(
         "reproduce",
@@ -877,6 +913,31 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{' and every checked confident answer exact' if args.oracle else ''}"
           if survived else "\nFAILED: see report above")
     return 0 if survived else 1
+
+
+def cmd_chaos_net(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.net.chaos import run_chaos_net
+
+    rows, ok = run_chaos_net(
+        args.scenarios,
+        workdir=Path(args.artifacts),
+        out=Path(args.out) if args.out else None,
+        heartbeat_interval_s=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
+        ops=args.ops,
+        checks=args.checks,
+        seed=args.seed,
+    )
+    ran = sum(1 for r in rows if "skipped" not in r)
+    skipped = len(rows) - ran
+    print(
+        f"\n{'SURVIVED' if ok else 'FAILED'}: {ran} scenario(s) ran"
+        + (f", {skipped} skipped" if skipped else "")
+        + (", zero oracle mismatches" if ok else " — see rows above")
+    )
+    return 0 if ok else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:

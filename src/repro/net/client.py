@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net import protocol
 from repro.service.engine import QueryOutcome
+from repro.service.faults import Backoff
 
 Pair = Tuple[int, int]
 
@@ -182,6 +183,22 @@ class ReachabilityClient:
         """Liveness probe; returns ``{"role", "watermark", ...}``."""
         return await self._request({"type": protocol.PING})
 
+    async def lease(self, epoch: int, ttl_ms: float) -> dict:
+        """Grant/renew the server's write lease (supervisor traffic).
+
+        Returns ``{"granted", "epoch", "role", "watermark"}``; servers
+        reject grants at epochs older than the one they last accepted.
+        """
+        return await self._request(
+            {"type": protocol.LEASE, "epoch": epoch, "ttl_ms": ttl_ms}
+        )
+
+    async def endpoints(self) -> dict:
+        """The supervisor's endpoint map: ``{"epoch", "primary",
+        "replicas"}``. Only the supervisor's control endpoint serves
+        this frame; data servers answer with an error."""
+        return await self._request({"type": protocol.ENDPOINTS})
+
     # ------------------------------------------------------------------
     # Replication stream
     # ------------------------------------------------------------------
@@ -209,3 +226,206 @@ class ReachabilityClient:
             )
         except asyncio.TimeoutError:
             return None
+
+
+class FailoverClient:
+    """A failover-aware client routed through the supervisor.
+
+    Instead of a fixed ``(host, port)``, a :class:`FailoverClient` is
+    opened against the *supervisor's* control endpoint. It fetches the
+    published endpoint map, connects to the current primary, and
+    recovers from three failure shapes without surfacing them:
+
+    * **Connection loss** (primary killed, connection reset): drop the
+      dead connection, back off (jittered exponential, reset on
+      success), refetch the endpoint map, reconnect to whoever is
+      primary now, and re-issue the request.
+    * **Read-only rejections** (``read-only-replica`` /
+      ``read-only-demoted``): the map pointed at a server that is not —
+      or is no longer — writable. Treated exactly like connection loss:
+      the next map fetch finds the promoted winner.
+    * **Shed answers** (``via="shed"``): retried on the same
+      connection, with the backoff delay *capped by the server's*
+      ``retry_after_ms`` *hint* — the server knows its own queue better
+      than our schedule does.
+
+    Re-sent frames are idempotent end to end. Reads replay trivially.
+    An update replayed after a failover re-executes against the new
+    primary's graph: set-semantics ``add_edge``/``remove_edge`` make
+    the second application a no-op (``applied=False``), and the journal
+    version stamp on the *first* application is what replicas dedup by
+    — a replayed update can never double-journal. :attr:`counters`
+    track ``failover_retries``, ``update_replays``, ``shed_waits``, and
+    ``endpoint_refreshes``.
+    """
+
+    def __init__(
+        self,
+        supervisor_host: str,
+        supervisor_port: int,
+        *,
+        base_delay_s: float = 0.05,
+        retry_cap_s: float = 2.0,
+        max_attempts: int = 12,
+        shed_retries: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.supervisor_address = (supervisor_host, supervisor_port)
+        self.max_attempts = max_attempts
+        self.shed_retries = shed_retries
+        self.counters: Dict[str, int] = {}
+        self.epoch = 0
+        self._endpoints: dict = {}
+        self._client: Optional[ReachabilityClient] = None
+        self._backoff = Backoff(
+            base_s=base_delay_s, cap_s=retry_cap_s, seed=seed
+        )
+        self._shed_backoff = Backoff(
+            base_s=base_delay_s, cap_s=retry_cap_s, seed=seed + 1
+        )
+        self._closed = False
+
+    @classmethod
+    async def open(
+        cls, supervisor_host: str, supervisor_port: int, **kwargs
+    ) -> "FailoverClient":
+        self = cls(supervisor_host, supervisor_port, **kwargs)
+        await self._refresh_endpoints()
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        await self._drop()
+
+    async def __aenter__(self) -> "FailoverClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def endpoints(self) -> dict:
+        """The last endpoint map fetched from the supervisor."""
+        return dict(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _refresh_endpoints(self) -> None:
+        async with await ReachabilityClient.open(
+            *self.supervisor_address
+        ) as control:
+            mapping = await control.endpoints()
+        self._incr("endpoint_refreshes")
+        epoch = int(mapping.get("epoch", 0))
+        if self.epoch and epoch > self.epoch:
+            self._incr("failovers_observed")
+        self.epoch = epoch
+        self._endpoints = mapping
+
+    async def _ensure(self) -> ReachabilityClient:
+        if self._closed:
+            raise ConnectionLost("client closed")
+        if self._client is not None and not self._client._reader_task.done():
+            return self._client
+        primary = self._endpoints.get("primary")
+        if not primary:
+            raise ConnectionLost("supervisor publishes no primary")
+        self._client = await ReachabilityClient.open(
+            str(primary[0]), int(primary[1])
+        )
+        return self._client
+
+    async def _drop(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            await client.close()
+
+    def _incr(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    async def _call(
+        self,
+        op: Callable[[ReachabilityClient], Awaitable],
+        *,
+        replay_counter: Optional[str] = None,
+    ):
+        """Run ``op`` against the current primary, failing over as needed."""
+        sent = False
+        for attempt in range(self.max_attempts + 1):
+            try:
+                client = await self._ensure()
+                if sent and replay_counter is not None:
+                    self._incr(replay_counter)
+                sent = True
+                result = await op(client)
+            except (ConnectionLost, ConnectionError, OSError):
+                pass
+            except ServerError as exc:
+                if "read-only" not in str(exc):
+                    raise
+            else:
+                self._backoff.reset()
+                return result
+            self._incr("failover_retries")
+            await self._drop()
+            if attempt >= self.max_attempts:
+                break
+            await asyncio.sleep(self._backoff.next_delay())
+            with contextlib.suppress(
+                OSError,
+                ConnectionError,
+                ConnectionLost,
+                ServerError,
+                protocol.ProtocolError,
+            ):
+                await self._refresh_endpoints()
+        raise ConnectionLost(
+            f"no writable primary after {self.max_attempts + 1} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def query(
+        self, s: int, t: int, deadline_ms: Optional[int] = None
+    ) -> QueryOutcome:
+        """One query, retried across failovers and shed rejections."""
+        for round_ in range(self.shed_retries + 1):
+            outcome = await self._call(lambda c: c.query(s, t, deadline_ms))
+            if outcome.via != "shed" or round_ == self.shed_retries:
+                if outcome.via != "shed":
+                    self._shed_backoff.reset()
+                return outcome
+            delay = self._shed_backoff.next_delay()
+            if outcome.retry_after_ms is not None:
+                delay = min(delay, outcome.retry_after_ms / 1000.0)
+            self._incr("shed_waits")
+            await asyncio.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def query_batch(
+        self,
+        pairs: Sequence[Pair],
+        strategy: str = "auto",
+        deadline_ms: Optional[int] = None,
+    ) -> List[QueryOutcome]:
+        return await self._call(
+            lambda c: c.query_batch(pairs, strategy, deadline_ms)
+        )
+
+    async def add_edge(self, u: int, v: int) -> dict:
+        return await self._call(
+            lambda c: c.add_edge(u, v), replay_counter="update_replays"
+        )
+
+    async def remove_edge(self, u: int, v: int) -> dict:
+        return await self._call(
+            lambda c: c.remove_edge(u, v), replay_counter="update_replays"
+        )
+
+    async def stats(self) -> dict:
+        return await self._call(lambda c: c.stats())
+
+    async def ping(self) -> dict:
+        return await self._call(lambda c: c.ping())

@@ -30,6 +30,17 @@ Message types (requests -> responses):
                       journal cannot serve ``after``), then a stream of
                       ``journal`` frames (shipped journal records)
 ``ping``              ``{"type": "ping", "id"}`` -> ``pong``
+``lease``             ``{"type": "lease", "id", "epoch", "ttl_ms"}`` ->
+                      ``lease-result`` — the supervisor's write-lease
+                      grant/renewal; a primary that stops receiving
+                      renewals demotes itself to read-only when the last
+                      grant's TTL expires (split-brain guard)
+``endpoints``         ``{"type": "endpoints", "id"}`` ->
+                      ``endpoints-result`` — served by the *supervisor's*
+                      control endpoint, not by data servers: the current
+                      ``{"epoch", "primary": [host, port] | null,
+                      "replicas": [[host, port], ...]}`` map failover
+                      clients reconnect through
 ====================  =====================================================
 
 Errors at the request level come back as
@@ -61,6 +72,8 @@ UPDATE = "update"
 STATS = "stats"
 SUBSCRIBE = "subscribe"
 PING = "ping"
+LEASE = "lease"
+ENDPOINTS = "endpoints"
 
 # Response / stream types.
 RESULT = "result"
@@ -70,6 +83,8 @@ STATS_RESULT = "stats-result"
 SUBSCRIBED = "subscribed"
 JOURNAL = "journal"
 PONG = "pong"
+LEASE_RESULT = "lease-result"
+ENDPOINTS_RESULT = "endpoints-result"
 ERROR = "error"
 
 

@@ -41,6 +41,7 @@ from repro.graph.digraph import DynamicDiGraph
 from repro.net.client import ConnectionLost, ReachabilityClient, ServerError
 from repro.net.server import ReachabilityServer
 from repro.service.engine import ReachabilityService
+from repro.service.faults import Backoff
 
 
 class ReplicaNode:
@@ -58,7 +59,14 @@ class ReplicaNode:
         Forwarded to every :class:`ReachabilityService` this node
         constructs (initial, snapshot bootstrap, promotion).
     reconnect_delay_s:
-        Backoff between connection attempts to the primary.
+        *Base* backoff between connection attempts to the primary. Each
+        consecutive failure doubles the (jittered) delay up to
+        ``reconnect_delay_max_s``; a successful subscribe resets it —
+        a dead primary is probed gently, a blip reconnects fast.
+    reconnect_delay_max_s:
+        Backoff cap.
+    seed:
+        Seeds the backoff jitter (kept deterministic for tests).
     """
 
     def __init__(
@@ -69,19 +77,28 @@ class ReplicaNode:
         *,
         service_kwargs: Optional[Dict] = None,
         reconnect_delay_s: float = 0.1,
+        reconnect_delay_max_s: float = 2.0,
+        seed: int = 0,
     ) -> None:
         self.primary_host = primary_host
         self.primary_port = primary_port
         self.journal_path = Path(journal_path)
         self.checkpoint_path = self.journal_path.with_suffix(".ckpt")
         self._service_kwargs = dict(service_kwargs or {})
-        self._reconnect_delay_s = reconnect_delay_s
+        self._reconnect = Backoff(
+            base_s=reconnect_delay_s,
+            cap_s=max(reconnect_delay_s, reconnect_delay_max_s),
+            seed=seed,
+        )
         self._stop = asyncio.Event()
+        self._client: Optional[ReachabilityClient] = None
+        self._resubscribe = False
         self.promoted = False
         self.connected = False
         self.records_applied = 0
         self.snapshots_loaded = 0
         self.reconnects = 0
+        self.severed = 0
         self.server: Optional[ReachabilityServer] = None
         if (
             self.journal_path.exists()
@@ -138,25 +155,31 @@ class ReplicaNode:
             except OSError:
                 await self._backoff()
                 continue
+            self._client = client
             try:
                 await self._follow(client, loop)
             except (ConnectionLost, ServerError, OSError):
                 pass
             finally:
                 self.connected = False
+                self._client = None
                 await client.close()
             await self._backoff()
 
     async def _backoff(self) -> None:
         with contextlib.suppress(asyncio.TimeoutError):
             await asyncio.wait_for(
-                self._stop.wait(), self._reconnect_delay_s
+                self._stop.wait(), self._reconnect.next_delay()
             )
 
     async def _follow(
         self, client: ReachabilityClient, loop: asyncio.AbstractEventLoop
     ) -> None:
+        self._resubscribe = False
         subscribed = await client.subscribe(after=self.service.watermark)
+        # A successful subscription resets the reconnect schedule: the
+        # next loss starts again from the base delay.
+        self._reconnect.reset()
         snapshot = subscribed.get("snapshot")
         if snapshot is not None:
             await loop.run_in_executor(
@@ -164,7 +187,7 @@ class ReplicaNode:
             )
         self.connected = True
         self.reconnects += 1
-        while not self._stop.is_set():
+        while not self._stop.is_set() and not self._resubscribe:
             record = await client.next_journal(timeout=0.1)
             if record is None:
                 if client._reader_task.done():
@@ -175,6 +198,45 @@ class ReplicaNode:
             )
             if applied is not None:
                 self.records_applied += 1
+
+    def repoint(self, host: str, port: int) -> None:
+        """Follow a different primary from the next (re)connect on.
+
+        Used by the supervisor after a failover: the losing replicas
+        re-subscribe to the promoted winner at their own watermark —
+        version-stamp dedup makes the hand-off exact.
+        """
+        self.primary_host = host
+        self.primary_port = port
+        self.sever()
+
+    def sever(self) -> None:
+        """Drop the current connection (chaos hook / repoint helper).
+
+        The run loop treats it like any other connection loss: back off,
+        reconnect, resubscribe at the watermark. Safe to call when not
+        connected (no-op beyond requesting a resubscribe).
+        """
+        self._resubscribe = True
+        self.severed += 1
+        client = self._client
+        if client is not None and not client._reader_task.done():
+            client._reader_task.cancel()
+            # Wake a blocked next_journal() so _follow notices promptly.
+            client._journal_frames.put_nowait(None)
+
+    def stats(self) -> Dict[str, object]:
+        """Replication counters plus the live reconnect-backoff state."""
+        return {
+            "watermark": self.watermark,
+            "connected": self.connected,
+            "promoted": self.promoted,
+            "records_applied": self.records_applied,
+            "snapshots_loaded": self.snapshots_loaded,
+            "reconnects": self.reconnects,
+            "severed": self.severed,
+            "backoff": self._reconnect.snapshot(),
+        }
 
     def _bootstrap_from_snapshot(self, snapshot: dict) -> None:
         """Rebuild the local service from a full primary snapshot.
@@ -214,12 +276,14 @@ class ReplicaNode:
     # ------------------------------------------------------------------
     # Failover
     # ------------------------------------------------------------------
-    def promote(self) -> ReachabilityService:
+    def promote(self, epoch: Optional[int] = None) -> ReachabilityService:
         """Take over as primary: recover from the local journal.
 
         Call only after :meth:`run` has returned (use :meth:`stop`).
         The returned service is the node's new :attr:`service`; an
         attached server is flipped writable and re-pointed at it.
+        ``epoch`` stamps the attached server's lease epoch (supervised
+        failover; see :mod:`repro.net.supervisor`).
         """
         self._stop.set()
         self.service.close()
@@ -229,7 +293,7 @@ class ReplicaNode:
         self.promoted = True
         if self.server is not None:
             self.server.service = self.service
-            self.server.promote()
+            self.server.promote(epoch)
         return self.service
 
     # ------------------------------------------------------------------

@@ -21,12 +21,23 @@ service runs in executor threads. Three mechanisms make the wire cheap:
   carries the live ``retry_after_ms`` hint derived from observed
   engine-stage latency.
 * **Journal shipping.** A ``subscribe`` frame turns the connection into
-  a replication feed: a :class:`~repro.graph.journal.JournalTailer`
-  follows the service's write-ahead journal and every record streams to
-  the subscriber as a ``journal`` frame. A subscriber whose resume point
-  was compacted away gets a full ``snapshot`` in the ``subscribed``
-  response first (one coherent read-locked graph capture), then the
-  stream continues from the snapshot's version.
+  a replication feed. One server-wide :class:`JournalFanout` owns the
+  single live :class:`~repro.graph.journal.JournalTailer` — however many
+  replicas subscribe, the journal file has one reader — and fans every
+  new record out to per-subscriber queues. A fresh subscriber catches up
+  with a one-off bounded read from its own resume point (version-stamp
+  dedup reconciles the two streams), and one whose resume point was
+  compacted away gets a full ``snapshot`` in the ``subscribed`` response
+  first (one coherent read-locked graph capture), then the stream
+  continues from the snapshot's version.
+
+**Leases.** A supervisor (see :mod:`repro.net.supervisor`) renews a
+write lease on the primary with every heartbeat. A primary that stops
+hearing renewals — partitioned from its supervisor — demotes itself to
+read-only once the last grant's TTL expires, *before* the supervisor's
+fencing wait elapses and a replica is promoted in its place: at most one
+writable primary exists at any instant. A server that never received a
+lease (standalone operation) never demotes.
 
 The server never trusts the network with correctness: every answer is a
 :class:`~repro.service.engine.QueryOutcome` produced by the service
@@ -46,6 +57,85 @@ from repro.net import protocol
 from repro.service.engine import QueryOutcome, ReachabilityService
 
 Pair = Tuple[int, int]
+
+
+class JournalFanout:
+    """One shared journal reader feeding N subscriber queues.
+
+    The first subscriber starts the pump: a single
+    :class:`~repro.graph.journal.JournalTailer` anchored at the live
+    watermark, polled by one task, every new record pushed onto every
+    attached queue. Subscribers handle their own resume point with a
+    one-off catch-up read (:meth:`ReachabilityServer._catch_up`);
+    per-connection version-stamp dedup reconciles the catch-up stream
+    with whatever the pump enqueued meanwhile. When the last subscriber
+    detaches the pump stops and the tailer closes — an idle server holds
+    no journal reader at all. A pump failure (gap, corrupt record)
+    pushes ``None`` so every subscriber's feed ends and the replica
+    resubscribes from scratch.
+    """
+
+    def __init__(self, server: "ReachabilityServer") -> None:
+        self._server = server
+        self._queues: set = set()
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._queues)
+
+    def attach(self) -> "asyncio.Queue[Optional[dict]]":
+        """Register a subscriber queue (starts the pump on first use)."""
+        queue: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        self._queues.add(queue)
+        if self._task is None:
+            tailer = JournalTailer(
+                self._server.service.journal.path,
+                after_version=self._server.service.watermark,
+            )
+            self._server._incr("net_tailers")
+            self._task = asyncio.get_running_loop().create_task(
+                self._pump(tailer)
+            )
+        return queue
+
+    def detach(self, queue) -> None:
+        self._queues.discard(queue)
+        if not self._queues and self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    async def _pump(self, tailer: JournalTailer) -> None:
+        server = self._server
+        journal = server.service.journal
+        loop = asyncio.get_running_loop()
+        try:
+            while not server._closed:
+                journal.publish()
+                records = await loop.run_in_executor(None, tailer.poll)
+                for record in records:
+                    for queue in self._queues:
+                        queue.put_nowait(record)
+                if not records:
+                    await asyncio.sleep(server._tail_poll_s)
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            server._incr("net_feed_errors")
+            for queue in self._queues:
+                queue.put_nowait(None)
+        finally:
+            tailer.close()
+
+    async def close(self) -> None:
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        for queue in self._queues:
+            queue.put_nowait(None)
+        self._queues.clear()
 
 
 class ReachabilityServer:
@@ -116,6 +206,12 @@ class ReachabilityServer:
         self._inflight = 0  # wire queries queued or executing
         self._closed = False
         self._conn_tasks: set = set()
+        self._fanout: Optional[JournalFanout] = None
+        # Write-lease state (supervised clusters only; see module doc).
+        # A server that never receives a LEASE frame keeps
+        # _lease_deadline=None and never demotes.
+        self.lease_epoch = 0
+        self._lease_deadline: Optional[float] = None
         # Single-threaded counters (event loop only); exposed via STATS.
         self.counters: Dict[str, int] = {}
 
@@ -143,6 +239,9 @@ class ReachabilityServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._fanout is not None:
+            await self._fanout.close()
+            self._fanout = None
         if self._drain_task is not None:
             self._drain_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -158,10 +257,36 @@ class ReachabilityServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
 
-    def promote(self) -> None:
-        """Flip a replica server writable (role and read-only gate)."""
+    def promote(self, epoch: Optional[int] = None) -> None:
+        """Flip a replica server writable (role and read-only gate).
+
+        ``epoch`` stamps the promotion's lease epoch so a stale
+        supervisor's older-epoch grants are rejected. The new primary is
+        unleased (never demotes) until the first grant arrives.
+        """
         self.read_only = False
         self.role = "primary"
+        if epoch is not None:
+            self.lease_epoch = int(epoch)
+        self._lease_deadline = None
+
+    def demote(self) -> None:
+        """Drop to read-only (lease lost; the split-brain guard)."""
+        if self.role == "demoted":
+            return
+        self.read_only = True
+        self.role = "demoted"
+        self._incr("net_demotions")
+
+    def _maybe_demote(self) -> None:
+        """Lazily enforce lease expiry (checked on every relevant frame)."""
+        if (
+            self._lease_deadline is not None
+            and not self.read_only
+            and self._loop is not None
+            and self._loop.time() > self._lease_deadline
+        ):
+            self.demote()
 
     def _incr(self, name: str, by: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + by
@@ -236,12 +361,16 @@ class ReachabilityServer:
             elif mtype == protocol.STATS:
                 reply = await self._serve_stats(mid)
             elif mtype == protocol.PING:
+                self._maybe_demote()
                 reply = {
                     "type": protocol.PONG,
                     "id": mid,
                     "role": self.role,
                     "watermark": self.service.watermark,
+                    "epoch": self.lease_epoch,
                 }
+            elif mtype == protocol.LEASE:
+                reply = self._serve_lease(message, mid)
             elif mtype == protocol.SUBSCRIBE:
                 await self._serve_subscription(message, respond)
                 return
@@ -359,12 +488,17 @@ class ReachabilityServer:
         }
 
     async def _serve_update(self, message: dict, mid) -> dict:
+        self._maybe_demote()
         if self.read_only:
             self._incr("net_updates_rejected")
             return {
                 "type": protocol.ERROR,
                 "id": mid,
-                "error": "read-only-replica",
+                "error": (
+                    "read-only-demoted"
+                    if self.role == "demoted"
+                    else "read-only-replica"
+                ),
                 "role": self.role,
             }
         op = message.get("op")
@@ -389,19 +523,80 @@ class ReachabilityServer:
         }
 
     async def _serve_stats(self, mid) -> dict:
+        self._maybe_demote()
         snapshot = await self._loop.run_in_executor(None, self.service.stats)
         return {
             "type": protocol.STATS_RESULT,
             "id": mid,
             "role": self.role,
             "watermark": self.service.watermark,
+            "epoch": self.lease_epoch,
             "stats": snapshot,
             "server": dict(self.counters),
+        }
+
+    def _serve_lease(self, message: dict, mid) -> dict:
+        """Grant/renew the supervisor's write lease (epoch-fenced).
+
+        Grants at a *stale* epoch are rejected — that is the split-brain
+        guard's other half: after a failover bumps the epoch, an old
+        supervisor's renewals cannot resurrect the demoted primary. A
+        grant at a strictly *newer* epoch re-promotes a demoted server
+        (the supervisor re-reached it and still considers it primary —
+        it bumps the epoch precisely to prove the grant is fresh).
+        """
+        epoch = int(message.get("epoch", 0))
+        ttl_ms = float(message.get("ttl_ms", 0.0))
+        self._maybe_demote()
+        if epoch < self.lease_epoch or (
+            self.role == "demoted" and epoch == self.lease_epoch
+        ):
+            self._incr("net_leases_rejected")
+            return {
+                "type": protocol.LEASE_RESULT,
+                "id": mid,
+                "granted": False,
+                "epoch": self.lease_epoch,
+                "role": self.role,
+                "watermark": self.service.watermark,
+            }
+        if self.role == "demoted":
+            self._incr("net_lease_regrants")
+            self.read_only = False
+            self.role = "primary"
+        self.lease_epoch = epoch
+        self._lease_deadline = self._loop.time() + ttl_ms / 1000.0
+        self._incr("net_leases")
+        return {
+            "type": protocol.LEASE_RESULT,
+            "id": mid,
+            "granted": True,
+            "epoch": self.lease_epoch,
+            "role": self.role,
+            "watermark": self.service.watermark,
         }
 
     # ------------------------------------------------------------------
     # Replication: SUBSCRIBE feeds
     # ------------------------------------------------------------------
+    def _catch_up_sync(self, after: int) -> Tuple[List[dict], int]:
+        """One bounded read of the journal from ``after`` to its end.
+
+        Runs in an executor thread with a throwaway tailer — the
+        *persistent* reader is the fanout's single shared tailer; this
+        read only covers the stretch between a fresh subscriber's resume
+        point and the live position. Raises ``JournalGap`` when ``after``
+        was compacted away.
+        """
+        tailer = JournalTailer(
+            self.service.journal.path, after_version=after
+        )
+        try:
+            records = tailer.poll()
+            return records, tailer.last_version
+        finally:
+            tailer.close()
+
     async def _serve_subscription(self, message: dict, respond) -> None:
         mid = message.get("id")
         after = int(message.get("after", 0))
@@ -412,19 +607,26 @@ class ReachabilityServer:
             )
             return
         self._incr("net_subscribers")
-        tailer: Optional[JournalTailer] = None
+        if self._fanout is None:
+            self._fanout = JournalFanout(self)
+        fanout = self._fanout
+        queue: Optional["asyncio.Queue[Optional[dict]]"] = None
         snapshot_block = None
+        sent_ver = after
         try:
+            # Attach *before* the catch-up read so no record falls in
+            # the crack between the two: anything the pump ships while
+            # we read the backlog lands in the queue and is deduped
+            # below by version stamp.
+            queue = fanout.attach()
+            journal.publish()
             try:
-                tailer = JournalTailer(journal.path, after_version=after)
-                # Probe immediately: a compacted-away resume point only
-                # surfaces when the header is read.
-                backlog = await self._loop.run_in_executor(None, tailer.poll)
+                backlog, resume = await self._loop.run_in_executor(
+                    None, self._catch_up_sync, after
+                )
             except JournalGap:
                 # The journal cannot serve `after` any more — bootstrap
                 # the subscriber from a coherent full snapshot instead.
-                if tailer is not None:
-                    tailer.close()
                 edges, isolated, version = await self._loop.run_in_executor(
                     None, self.service.graph_snapshot
                 )
@@ -434,28 +636,34 @@ class ReachabilityServer:
                     "version": version,
                 }
                 self._incr("net_snapshots_sent")
-                tailer = JournalTailer(journal.path, after_version=version)
-                backlog = await self._loop.run_in_executor(None, tailer.poll)
+                sent_ver = version
+                backlog, resume = await self._loop.run_in_executor(
+                    None, self._catch_up_sync, version
+                )
             subscribed = {
                 "type": protocol.SUBSCRIBED,
                 "id": mid,
-                "version": tailer.last_version,
+                "version": resume,
                 "role": self.role,
             }
             if snapshot_block is not None:
                 subscribed["snapshot"] = snapshot_block
             await respond(subscribed)
             for record in backlog:
+                if record["ver"] <= sent_ver:
+                    continue
                 await respond({"type": protocol.JOURNAL, **record})
+                sent_ver = record["ver"]
                 self._incr("net_journal_shipped")
             while not self._closed:
-                journal.publish()
-                records = await self._loop.run_in_executor(None, tailer.poll)
-                for record in records:
-                    await respond({"type": protocol.JOURNAL, **record})
-                    self._incr("net_journal_shipped")
-                if not records:
-                    await asyncio.sleep(self._tail_poll_s)
+                record = await queue.get()
+                if record is None:  # pump failed or server stopping
+                    raise RuntimeError("journal feed interrupted")
+                if record["ver"] <= sent_ver:
+                    continue
+                await respond({"type": protocol.JOURNAL, **record})
+                sent_ver = record["ver"]
+                self._incr("net_journal_shipped")
         except (ConnectionError, asyncio.CancelledError):
             pass
         except Exception as exc:
@@ -469,5 +677,5 @@ class ReachabilityServer:
                     }
                 )
         finally:
-            if tailer is not None:
-                tailer.close()
+            if queue is not None:
+                fanout.detach(queue)

@@ -24,6 +24,7 @@ from repro.service.engine import QueryOutcome, QueryPlan, ReachabilityService
 from repro.service.fastpath import FastPathPruner, UpdateEffect
 from repro.service.faults import (
     NAMED_PLANS,
+    Backoff,
     CircuitBreaker,
     FaultInjector,
     FaultPlan,
@@ -35,6 +36,7 @@ from repro.service.faults import (
 from repro.service.stats import ServiceStats, format_stats_table
 
 __all__ = [
+    "Backoff",
     "BatchCostModel",
     "BatchPlan",
     "CircuitBreaker",

@@ -253,6 +253,11 @@ class ReachabilityService:
     shard_call_timeout_s:
         Per-message worker round-trip timeout; a worker that exceeds it
         is declared dead and its pairs fall back locally.
+    shard_respawn:
+        Let the router self-heal dead workers: a replacement process
+        re-attaches the still-published segments of the same plan (no
+        repartition) on the next routed batch. Off, a degraded fleet
+        stays degraded until the next epoch refresh.
     use_labels:
         Stand up the incremental DL/BL label tier
         (:class:`~repro.graph.labels.LabelIndex`) as the third pruner:
@@ -300,6 +305,7 @@ class ReachabilityService:
         shards: int = 0,
         shard_refresh_threshold: int = 8,
         shard_call_timeout_s: float = 30.0,
+        shard_respawn: bool = True,
         use_labels: bool = True,
         label_bits: int = 256,
         label_staleness_threshold: float = 0.25,
@@ -361,6 +367,7 @@ class ReachabilityService:
         self._shards = max(0, int(shards))
         self._shard_refresh_threshold = max(1, shard_refresh_threshold)
         self._shard_call_timeout_s = shard_call_timeout_s
+        self._shard_respawn = bool(shard_respawn)
         self._router: Optional["ShardRouter"] = None
         self._router_lock = threading.Lock()
         self._router_demand = 0
@@ -1240,6 +1247,7 @@ class ReachabilityService:
                         self.graph,
                         self._shards,
                         call_timeout_s=self._shard_call_timeout_s,
+                        auto_respawn=self._shard_respawn,
                     )
                 else:
                     router.refresh(self.graph)

@@ -240,6 +240,64 @@ class CircuitBreaker:
 
 
 # ----------------------------------------------------------------------
+# Jittered exponential backoff
+# ----------------------------------------------------------------------
+class Backoff:
+    """Jittered exponential backoff with a cap and reset-on-success.
+
+    The delay sequence is ``base * multiplier**attempt`` capped at
+    ``cap_s``, each draw jittered uniformly into ``[delay/2, delay]`` so
+    a fleet of reconnecting followers does not stampede the endpoint
+    they all lost at the same instant. Deterministic given ``seed``;
+    not thread-safe (one owner per instance, like the loops that use
+    it). :meth:`reset` returns to the base delay after a success.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.05,
+        cap_s: float = 2.0,
+        multiplier: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if base_s <= 0:
+            raise ValueError("base_s must be > 0")
+        if cap_s < base_s:
+            raise ValueError("cap_s must be >= base_s")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.multiplier = multiplier
+        self.attempts = 0
+        self.last_delay_s = 0.0
+        self._rng = random.Random(seed)
+
+    def next_delay(self) -> float:
+        """The next (jittered) delay; advances the attempt counter."""
+        raw = min(
+            self.cap_s, self.base_s * (self.multiplier ** self.attempts)
+        )
+        self.attempts += 1
+        self.last_delay_s = raw * (0.5 + 0.5 * self._rng.random())
+        return self.last_delay_s
+
+    def reset(self) -> None:
+        """Back to the base delay (call after a success)."""
+        self.attempts = 0
+        self.last_delay_s = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Stats-friendly view of where the schedule stands."""
+        return {
+            "attempts": self.attempts,
+            "last_delay_s": self.last_delay_s,
+            "base_s": self.base_s,
+            "cap_s": self.cap_s,
+        }
+
+
+# ----------------------------------------------------------------------
 # Per-stage serving policy
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -19,9 +19,10 @@ serving engine reaches all of it through
 
 from repro.shard.partition import ShardInfo, ShardPlan, partition_graph
 try:  # router needs numpy + multiprocessing; partition is always importable
-    from repro.shard.router import ShardRouter, WorkerDied
+    from repro.shard.router import ShardRouter, ShardWorkerHandle, WorkerDied
 except ImportError:  # pragma: no cover - no-numpy installs
     ShardRouter = None  # type: ignore[assignment]
+    ShardWorkerHandle = None  # type: ignore[assignment]
     WorkerDied = None  # type: ignore[assignment]
 
 __all__ = [
@@ -29,5 +30,6 @@ __all__ = [
     "ShardPlan",
     "partition_graph",
     "ShardRouter",
+    "ShardWorkerHandle",
     "WorkerDied",
 ]

@@ -25,7 +25,7 @@ suppressed for the duration of the attach instead.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Tuple
 
@@ -44,8 +44,19 @@ class SegmentHandle:
     name: str
     manifest: Dict[str, object]
     shm: shared_memory.SharedMemory
+    _closed: bool = field(default=False, init=False)
 
     def close(self, *, unlink: bool = True) -> None:
+        """Drop the mapping and (by default) unlink the name.
+
+        Idempotent: teardown paths that overlap (a failed swap falling
+        back to a full redeploy, a router closed mid-respawn) may close
+        the same handle twice, and the second call must not unlink a
+        name a newer epoch could have reused.
+        """
+        if self._closed:
+            return
+        self._closed = True
         try:
             self.shm.close()
         except BufferError:  # pragma: no cover - views still exported

@@ -21,12 +21,20 @@ shard. For a batch of (source, target) pairs it resolves, in order:
    terminate; draining without reaching a lane's target proves its
    negative (closures are exhaustive).
 
-**Containment.** Any worker failure — died process, pipe error, call
-timeout, stale version, expired budget — marks that worker dead and
-reroutes the affected pairs to the caller as *unresolved*; the serving
-engine then answers them on its own single-process path. A dead worker
-never wedges a batch, and :meth:`ShardRouter.refresh` respawns the fleet
-on the next epoch.
+**Containment and respawn.** Any worker failure — died process, pipe
+error, call timeout, stale version, expired budget — marks that worker
+dead and reroutes the affected pairs to the caller as *unresolved*; the
+serving engine then answers them on its own single-process path. A dead
+worker never wedges a batch. The fleet then *self-heals*: a dead
+worker's shared-memory segments stay published, so
+:meth:`ShardRouter.respawn_dead` spawns a replacement process that
+re-attaches the same :class:`~repro.shard.partition.ShardPlan` — no
+repartition, no republish — and probes it through the mapping before
+trusting it. ``execute_batch`` triggers the respawn automatically (rate
+limited by ``respawn_cooldown_s``, capped per slot by
+``max_worker_respawns``), so the degraded window is one batch, not one
+epoch; :meth:`refresh` remains the heavier fallback that respawns the
+fleet against a *new* plan.
 
 **Swap protocol.** On a graph epoch change the engine calls
 :meth:`refresh`: the router repartitions, publishes version-stamped
@@ -76,7 +84,7 @@ class _OverBudget(Exception):
     """Worker gave up under its time/edge budget."""
 
 
-class _Worker:
+class ShardWorkerHandle:
     """The primary's handle on one spawned shard worker."""
 
     def __init__(self, process, conn) -> None:
@@ -120,13 +128,24 @@ class _Worker:
         return self.wait(timeout_s)
 
     def kill(self) -> None:
+        """Hard-stop the worker and reap it — safe to call mid-wave.
+
+        SIGKILL rather than SIGTERM: a worker wedged under SIGSTOP (or
+        spinning with signals blocked) ignores a terminate request, and
+        a respawn must not race a half-dead predecessor. The join reaps
+        the zombie so a respawned fleet never accumulates defunct
+        processes, and the process exits without running cleanup — its
+        segment mappings just vanish with the address space, which is
+        exactly why the router (not the worker) owns unlinking.
+        """
         self.alive = False
         try:
             self.conn.close()
         except OSError:  # pragma: no cover
             pass
         if self.process.is_alive():
-            self.process.terminate()
+            self.process.kill()
+        self.process.join(timeout=5.0)
 
     def stop(self, timeout_s: float = 2.0) -> None:
         if self.alive:
@@ -136,7 +155,10 @@ class _Worker:
             except (OSError, BrokenPipeError):
                 pass
         self.kill()
-        self.process.join(timeout=timeout_s)
+
+
+#: Back-compat alias (pre-respawn name).
+_Worker = ShardWorkerHandle
 
 
 class ShardRouter:
@@ -148,16 +170,24 @@ class ShardRouter:
         num_shards: int,
         *,
         call_timeout_s: float = 30.0,
+        auto_respawn: bool = True,
+        max_worker_respawns: int = 3,
+        respawn_cooldown_s: float = 0.05,
     ) -> None:
         if num_shards < 2:
             raise ValueError("ShardRouter needs num_shards >= 2")
         self.requested_shards = num_shards
         self.call_timeout_s = call_timeout_s
+        self.auto_respawn = auto_respawn
+        self.max_worker_respawns = max_worker_respawns
+        self.respawn_cooldown_s = respawn_cooldown_s
         self.counters: Dict[str, int] = {}
         self._ctx = multiprocessing.get_context("spawn")
         self._plan: Optional[ShardPlan] = None
         self._segments: List[SegmentHandle] = []
-        self._workers: List[_Worker] = []
+        self._workers: List[ShardWorkerHandle] = []
+        self._respawn_attempts: List[int] = []
+        self._last_respawn_at = 0.0
         self._closed = False
         self._deploy(graph)
 
@@ -253,21 +283,26 @@ class ShardRouter:
             handle.close()
         self._incr("swaps")
 
+    def _spawn(
+        self, plan: ShardPlan, handles: List[SegmentHandle], index: int
+    ) -> ShardWorkerHandle:
+        parent, child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child, self._spec(plan, handles, index)),
+            daemon=True,
+            name=f"ifca-shard-{index}",
+        )
+        process.start()
+        child.close()
+        return ShardWorkerHandle(process, parent)
+
     def _deploy_from(self, plan: ShardPlan) -> None:
         handles = self._publish(plan)
-        workers: List[_Worker] = []
+        workers: List[ShardWorkerHandle] = []
         try:
             for info in plan.shards:
-                parent, child = self._ctx.Pipe(duplex=True)
-                process = self._ctx.Process(
-                    target=shard_worker_main,
-                    args=(child, self._spec(plan, handles, info.index)),
-                    daemon=True,
-                    name=f"ifca-shard-{info.index}",
-                )
-                process.start()
-                child.close()
-                workers.append(_Worker(process, parent))
+                workers.append(self._spawn(plan, handles, info.index))
             for worker in workers:
                 worker.call(("ping",), self.call_timeout_s)
         except Exception:
@@ -277,7 +312,79 @@ class ShardRouter:
                 handle.close()
             raise
         self._plan, self._segments, self._workers = plan, handles, workers
+        self._respawn_attempts = [0] * len(workers)
         self._incr("deploys")
+
+    def respawn_dead(self, *, probe: bool = True) -> int:
+        """Replace dead workers against the *current* plan (no repartition).
+
+        The dead worker's segments are still published (workers never
+        own unlinking), so the replacement process re-attaches the same
+        version-stamped segment and picks up exactly where its
+        predecessor stood. With ``probe`` (the default) each replacement
+        must answer a ``("probe", version)`` — a read through the
+        re-attached CSR mapping — before it rejoins the fleet, so
+        :attr:`healthy` flips back only after a successful probe wave.
+        Per-slot attempts are capped at ``max_worker_respawns`` per
+        deployed plan (a shard that keeps dying is a poison shard; give
+        it back to the single-process path rather than fork-bombing).
+        Returns the number of workers respawned.
+        """
+        if self._closed or self._plan is None:
+            return 0
+        self._sweep_dead()
+        respawned = 0
+        for index, worker in enumerate(self._workers):
+            if worker.alive:
+                continue
+            if self._respawn_attempts[index] >= self.max_worker_respawns:
+                continue
+            self._respawn_attempts[index] += 1
+            replacement: Optional[ShardWorkerHandle] = None
+            try:
+                replacement = self._spawn(self._plan, self._segments, index)
+                if probe:
+                    replacement.call(
+                        ("probe", self._plan.version), self.call_timeout_s
+                    )
+            except Exception:
+                if replacement is not None:
+                    replacement.kill()
+                self._incr("respawn_failures")
+                continue
+            self._workers[index] = replacement
+            respawned += 1
+            self._incr("worker_respawns")
+        if respawned:
+            self._last_respawn_at = time.monotonic()
+        return respawned
+
+    def _sweep_dead(self) -> None:
+        """Notice workers that died without a call failing on them.
+
+        A worker SIGKILLed between batches (or one whose shard no batch
+        happened to touch) would otherwise sit as a live-looking handle
+        until the first routed pair hits its broken pipe. ``is_alive``
+        is one non-blocking ``waitpid`` per worker — cheap enough to
+        run before every respawn decision.
+        """
+        for worker in self._workers:
+            if worker.alive and not worker.process.is_alive():
+                worker.kill()
+                self._incr("worker_failures")
+
+    def _maybe_respawn(self) -> None:
+        """The ``execute_batch`` self-heal hook (cooldown-gated)."""
+        if not self.auto_respawn or not self._workers:
+            return
+        now = time.monotonic()
+        if now - self._last_respawn_at < self.respawn_cooldown_s:
+            return
+        self._sweep_dead()
+        if self.healthy:
+            return
+        self._last_respawn_at = now
+        self.respawn_dead()
 
     def _teardown(self) -> None:
         for worker in self._workers:
@@ -325,6 +432,7 @@ class ShardRouter:
         """
         if self._closed or self._plan is None:
             return {}, list(pairs)
+        self._maybe_respawn()
         plan = self._plan
         resolved: Dict[Pair, Verdict] = {}
         unresolved: List[Pair] = []
@@ -617,6 +725,7 @@ class ShardRouter:
             "requested_shards": self.requested_shards,
             "healthy": self.healthy,
             "workers_alive": sum(1 for w in self._workers if w.alive),
+            "respawn_attempts": list(self._respawn_attempts),
             "plan": plan_summary,
             "counters": dict(self.counters),
         }

@@ -8,6 +8,11 @@ tuple-message loop:
 
 ``("ping",)``
     → ``("ok", version)`` — liveness + version handshake.
+``("probe", version)``
+    → ``("ok", version, (num_vertices, num_edges))`` — liveness *plus* a
+    read through the attached CSR mapping: proves a freshly respawned
+    worker really re-attached the published segment, not just that its
+    pipe answers.
 ``("wave", version, pairs, lead, time_left, edge_ceiling)``
     → ``("ok", answers, stats)`` — intra-shard bit-parallel BiBFS over
     any number of pairs, chunked worker-side into ≤64-lane waves
@@ -102,6 +107,13 @@ def _handle(state: _ShardState, msg: Tuple) -> Tuple:
     kind = msg[0]
     if kind == "ping":
         return ("ok", state.version)
+    if kind == "probe":
+        if msg[1] != state.version:
+            return ("stale", state.version)
+        # Touch the mapping end to end — a probe must fault the pages a
+        # respawned worker claims to have re-attached.
+        csr = state.csr
+        return ("ok", state.version, (csr.num_vertices, csr.num_edges))
     if kind == "wave":
         _version, pairs, lead, time_left, edge_ceiling = msg[1:]
         if _version != state.version:

@@ -7,7 +7,9 @@ amortize the ~1 s/worker spawn cost through a module-scoped router.
 """
 
 import glob
+import os
 import random
+import signal
 
 import pytest
 
@@ -304,12 +306,13 @@ class TestRouter:
 @pytest.mark.shard
 def test_fleet_refresh_kill_cleanup():
     """Lifecycle in one spawn session: in-place swap on refresh, worker
-    death contained as unresolved (never wrong), segments unlinked on
-    close."""
+    death contained as unresolved (never wrong), manual respawn against
+    the same plan, segments unlinked on close. ``auto_respawn=False``
+    keeps the kill-and-forget containment path observable."""
     graph = chain_graph(num_cycles=20)
     pairs = sample_pairs(graph, 120, seed=7)
     preexisting = set(shm_segments())  # e.g. the module fixture's fleet
-    router = ShardRouter(graph, 2, call_timeout_s=20.0)
+    router = ShardRouter(graph, 2, call_timeout_s=20.0, auto_respawn=False)
     try:
         assert set(shm_segments()) - preexisting
         # First refresh changes the shard count (3 -> 2 on this graph),
@@ -341,6 +344,21 @@ def test_fleet_refresh_kill_cleanup():
         assert not router.healthy  # the failed call marked the worker dead
         assert set(resolved) | set(unresolved) == set(pairs)
         assert not set(resolved) & set(unresolved)
+        for (s, t), (answer, _) in resolved.items():
+            assert answer == is_reachable_bfs(updated, s, t)
+
+        # Respawn against the SAME plan: the dead worker's segments were
+        # never unlinked, the replacement re-attaches and answers the
+        # probe, and no repartition/republish happens.
+        deploys_before = router.counters.get("deploys")
+        version_before = router.version
+        assert router.respawn_dead() == 1
+        assert router.healthy
+        assert router.counters.get("worker_respawns") == 1
+        assert router.counters.get("deploys") == deploys_before
+        assert router.version == version_before
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not unresolved
         for (s, t), (answer, _) in resolved.items():
             assert answer == is_reachable_bfs(updated, s, t)
     finally:
@@ -383,6 +401,118 @@ def test_sharded_service_end_to_end():
         for _ in range(4):
             svc.query_batch(pairs[:20], strategy="bitparallel")
         assert svc.router.version == svc.graph.version
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_auto_respawn_heals_service_fleet():
+    """SIGKILL a worker under a live service: the next routed batch
+    self-heals the fleet by re-attaching the same plan's segments — no
+    repartition, no republish — and answers keep matching the oracle."""
+    from repro.service import ReachabilityService
+
+    graph = chain_graph(num_cycles=24)
+    pairs = sample_pairs(graph, 120, seed=11)
+    with ReachabilityService(
+        graph.copy(), shards=2, num_supportive=0, cache_capacity=4,
+    ) as svc:
+        svc.query_batch(pairs, strategy="bitparallel")  # deploys the fleet
+        router = svc.router
+        assert router is not None and router.healthy
+        deploys = router.counters.get("deploys")
+        version = router.version
+        victim = router._workers[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(5)
+        outcomes = svc.query_batch(pairs, strategy="bitparallel")
+        for (s, t), outcome in zip(pairs, outcomes):
+            assert outcome.answer == is_reachable_bfs(graph, s, t), (s, t)
+        assert router.healthy  # degraded flag cleared by the probe wave
+        assert router.counters.get("worker_respawns", 0) >= 1
+        assert router.counters.get("deploys") == deploys  # no repartition
+        assert router.version == version
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_kill_midwave_releases_cleanly():
+    """``ShardWorkerHandle.kill()`` mid-call: the process is reaped (no
+    zombie), the published segments survive for the replacement to
+    re-attach, and ``close()`` still unlinks everything exactly once."""
+    graph = chain_graph(num_cycles=16)
+    pairs = sample_pairs(graph, 80, seed=12)
+    preexisting = set(shm_segments())
+    router = ShardRouter(
+        graph, 2, call_timeout_s=20.0, respawn_cooldown_s=0.0
+    )
+    try:
+        published = set(shm_segments()) - preexisting
+        assert published
+        # Post a wave and kill before collecting the reply — the seam a
+        # crash-mid-batch lands on.
+        victim = router._workers[0]
+        victim.post(("wave", router.version, pairs, "forward", None, None))
+        victim.kill()
+        assert not victim.process.is_alive()  # reaped, not a zombie
+        # SIGKILL skipped all worker cleanup; the router's segments must
+        # all still be published (workers never own unlinking).
+        assert set(shm_segments()) - preexisting == published
+        assert router.respawn_dead() == 1
+        assert router.healthy
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not unresolved
+        for (s, t), (answer, _) in resolved.items():
+            assert answer == is_reachable_bfs(graph, s, t)
+        # A handle close is idempotent: overlapping teardown paths may
+        # hit the same handle twice without a double-unlink.
+        router._segments[0].close()
+        router._segments[0].close()
+    finally:
+        router.close()
+    assert set(shm_segments()) <= preexisting
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_worker_death_mid_cross_fixpoint(monkeypatch):
+    """SIGKILL a worker *between* scatter rounds of the cross-shard
+    fixpoint: the affected groups fall back unresolved (all-or-nothing —
+    a partial fixpoint could answer a lane falsely), nothing wedges, and
+    the service's local fallback keeps every answer oracle-exact."""
+    from repro.service import ReachabilityService
+
+    graph = chain_graph(num_cycles=24)
+    pairs = sample_pairs(graph, 150, seed=13)
+    with ReachabilityService(
+        # No label tier: its batch prefilter would answer the cross-shard
+        # pairs before any worker round trip, and this test needs the
+        # fixpoint to actually run.
+        graph.copy(), shards=3, num_supportive=0, cache_capacity=4,
+        use_labels=False,
+    ) as svc:
+        svc.query_batch(pairs[:10], strategy="bitparallel")
+        router = svc.router
+        assert router is not None
+        original = router._scatter
+        state = {"reach_rounds": 0}
+
+        def sabotaged(msgs):
+            if any(m[0] == "reach" for m in msgs.values()):
+                state["reach_rounds"] += 1
+                if state["reach_rounds"] == 2:
+                    victim = router._workers[next(iter(msgs))]
+                    if victim.process.is_alive():
+                        os.kill(victim.process.pid, signal.SIGKILL)
+                        victim.process.join(5)
+            return original(msgs)
+
+        monkeypatch.setattr(router, "_scatter", sabotaged)
+        outcomes = svc.query_batch(pairs, strategy="bitparallel")
+        for (s, t), outcome in zip(pairs, outcomes):
+            assert outcome.answer == is_reachable_bfs(graph, s, t), (s, t)
+        assert state["reach_rounds"] >= 2  # the sabotage actually fired
+        counters = svc.stats()["counters"]
+        assert counters.get("shard_unresolved", 0) > 0
 
 
 def test_service_shard_fallback_without_kernels():
