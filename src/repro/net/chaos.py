@@ -359,6 +359,7 @@ def _sharded_workload(
     checks: int,
     seed: int,
     call_timeout_s: float = 30.0,
+    shard_pipeline: bool = True,
 ) -> Dict[str, object]:
     """Shared driver: workload against a sharded service with one
     mid-stream ``sabotage(router)``, oracle equality throughout.
@@ -391,6 +392,7 @@ def _sharded_workload(
         num_supportive=0,
         cache_capacity=16,
         shard_call_timeout_s=call_timeout_s,
+        shard_pipeline=shard_pipeline,
         # The label tier can answer whole batches without a worker round
         # trip; disable it so every batch actually exercises the fleet —
         # a SIGSTOPped worker is only convicted by a timed-out call.
@@ -434,6 +436,7 @@ def _sharded_workload(
         row = {
             "scenario": scenario,
             "ops": ops,
+            "pipeline": shard_pipeline,
             "healthy": router.healthy,
             "healed_in_batches": healed_in,
             "worker_respawns": counters.get("worker_respawns", 0),
@@ -454,7 +457,8 @@ def _sharded_workload(
 
 
 def scenario_worker_respawn(
-    *, ops: int = 40, checks: int = 120, seed: int = 0
+    *, ops: int = 40, checks: int = 120, seed: int = 0,
+    shard_pipeline: bool = True,
 ) -> Dict[str, object]:
     def sabotage(router) -> Dict[str, object]:
         victim = router._workers[0]
@@ -468,11 +472,13 @@ def scenario_worker_respawn(
         ops=ops,
         checks=checks,
         seed=seed,
+        shard_pipeline=shard_pipeline,
     )
 
 
 def scenario_stop_worker(
-    *, ops: int = 40, checks: int = 120, seed: int = 0
+    *, ops: int = 40, checks: int = 120, seed: int = 0,
+    shard_pipeline: bool = True,
 ) -> Dict[str, object]:
     def sabotage(router) -> Dict[str, object]:
         # SIGSTOP: the process stays alive, so only the call timeout can
@@ -491,6 +497,7 @@ def scenario_stop_worker(
         # The stopped worker is only detected by timeout; keep it short
         # so the scenario converges quickly.
         call_timeout_s=1.5,
+        shard_pipeline=shard_pipeline,
     )
 
 
@@ -689,6 +696,7 @@ def run_chaos_net(
     heartbeat_misses: int = 3,
     ops: int = 160,
     checks: int = 120,
+    shard_pipeline: bool = True,
     seed: int = 0,
     echo: Optional[Callable[[str], None]] = print,
 ) -> Tuple[List[Dict[str, object]], bool]:
@@ -722,9 +730,13 @@ def run_chaos_net(
                     )
                 )
             elif name == "worker-respawn":
-                row = scenario_worker_respawn(checks=checks, seed=seed)
+                row = scenario_worker_respawn(
+                    checks=checks, seed=seed, shard_pipeline=shard_pipeline
+                )
             elif name == "stop-worker":
-                row = scenario_stop_worker(checks=checks, seed=seed)
+                row = scenario_stop_worker(
+                    checks=checks, seed=seed, shard_pipeline=shard_pipeline
+                )
             elif name == "partition-replica":
                 row = asyncio.run(
                     scenario_partition_replica(
@@ -768,6 +780,7 @@ def run_chaos_net(
                     "heartbeat_misses": heartbeat_misses,
                     "ops": ops,
                     "checks": checks,
+                    "shard_pipeline": shard_pipeline,
                     "seed": seed,
                     "numpy": HAVE_NUMPY,
                 },

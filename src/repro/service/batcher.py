@@ -28,6 +28,19 @@ a raw list of ``(s, t)`` pairs and produces *waves* ready for
 ``|V'| + |E'|``-shaped account the per-query cost model (Alg. 6) uses,
 scaled by word count, against the batch's expected scalar cost from live
 engine-stage latency.
+
+With sharding on, the engine inserts a **route rung** around this
+planner: batches consult the shard fleet (O(1) partition rules, then
+pipelined worker waves) *before* the per-pair prefilter here, and scalar
+queries consult it between the cache and the engine stage
+(``shard_route_scalar``). The rung ordering is deliberate: routing is
+dict-probe cheap per pair and exact, so it runs where it can shadow the
+most downstream work, while the planner stays the single place that
+guarantees trivial-verdict safety (``s == t``, missing endpoints) for
+whatever survives. Both rungs speak the same verdict surface — a
+``RouteFn``-shaped callable returning exact ``(answer, how)`` verdicts
+for the subset it could answer — so a degraded fleet simply shrinks the
+resolved map and the ladder below notices nothing.
 """
 
 from __future__ import annotations
@@ -51,6 +64,11 @@ CacheFn = Callable[[int, int], Optional[bool]]
 #: costs one call for the entire batch (see
 #: :meth:`repro.graph.labels.LabelIndex.query_many`).
 LabelFilterFn = Callable[[Sequence[Pair]], Optional[Sequence[int]]]
+#: ``route(pairs)`` -> exact ``pair -> (answer, how)`` verdicts for the
+#: subset the shard fleet answered (rule hits, label hits, worker waves,
+#: cross-shard joins). Pairs absent from the map stay on the local
+#: ladder — the route rung accelerates, it never gates.
+RouteFn = Callable[[Sequence[Pair]], Dict[Pair, Tuple[bool, str]]]
 
 
 @dataclass(frozen=True)

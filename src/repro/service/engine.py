@@ -258,6 +258,23 @@ class ReachabilityService:
         re-attaches the still-published segments of the same plan (no
         repartition) on the next routed batch. Off, a degraded fleet
         stays degraded until the next epoch refresh.
+    shard_pipeline:
+        Run the fleet through the event-driven pipelined scheduler
+        (:mod:`repro.shard.pipeline`): tagged out-of-order requests,
+        many cross-shard groups in flight at once, intra waves spread
+        over idle workers. Off, the legacy round-synchronous
+        scatter–gather runs (kept for comparison benches and as a
+        conservative fallback).
+    shard_inflight_window:
+        Requests the pipelined scheduler keeps in flight per worker
+        before backpressure holds the queue (1 degenerates to one
+        outstanding call per worker).
+    shard_route_scalar:
+        Let scalar :meth:`query` consult an already-deployed fleet:
+        the router's O(1) rule ladder answers between the cache and the
+        local engine, and a searchable miss rides the scheduler as a
+        1-lane wave when the fleet is idle. Scalar queries never deploy
+        the fleet and never wait for a batch holding it.
     use_labels:
         Stand up the incremental DL/BL label tier
         (:class:`~repro.graph.labels.LabelIndex`) as the third pruner:
@@ -306,6 +323,9 @@ class ReachabilityService:
         shard_refresh_threshold: int = 8,
         shard_call_timeout_s: float = 30.0,
         shard_respawn: bool = True,
+        shard_pipeline: bool = True,
+        shard_inflight_window: int = 4,
+        shard_route_scalar: bool = True,
         use_labels: bool = True,
         label_bits: int = 256,
         label_staleness_threshold: float = 0.25,
@@ -368,6 +388,9 @@ class ReachabilityService:
         self._shard_refresh_threshold = max(1, shard_refresh_threshold)
         self._shard_call_timeout_s = shard_call_timeout_s
         self._shard_respawn = bool(shard_respawn)
+        self._shard_pipeline = bool(shard_pipeline)
+        self._shard_inflight_window = max(1, int(shard_inflight_window))
+        self._shard_route_scalar = bool(shard_route_scalar)
         self._router: Optional["ShardRouter"] = None
         self._router_lock = threading.Lock()
         self._router_demand = 0
@@ -1205,9 +1228,75 @@ class ReachabilityService:
         self._stats.observe_latency("shard", time.perf_counter() - start)
         if resolved:
             self._stats.incr("shard_resolved", len(resolved))
+            # The DL/BL tier screens the fleet's searchable pairs before
+            # any worker round trip (the ROADMAP's "shard workers don't
+            # consult labels" follow-up) — surface those saves.
+            label_hits = sum(
+                1
+                for _answer, how in resolved.values()
+                if how == "label-pos" or how == "label-neg"
+            )
+            if label_hits:
+                self._stats.incr("shard_label_hits", label_hits)
         if unresolved:
             self._stats.incr("shard_unresolved", len(unresolved))
         return resolved
+
+    def _route_scalar_shard(
+        self,
+        source: int,
+        target: int,
+        version: int,
+        deadline: Optional[float],
+    ) -> Optional[QueryOutcome]:
+        """Consult an already-deployed fleet for one point query.
+
+        Strictly an accelerator on the scalar ladder (after the cache,
+        before the local engine): the router's O(1) rule ladder answers
+        lock-free, and a searchable pair rides the pipelined scheduler
+        as a 1-lane wave *only* when the fleet is idle — a scalar query
+        never deploys the fleet, never waits behind a batch holding the
+        route lock, and never blocks on another epoch's router. Any
+        miss, busy signal, or error falls through to the local path.
+        """
+        router = self._router
+        if router is None or router.version != version:
+            return None
+        start = time.perf_counter()
+        try:
+            self._fire("shard")
+            verdict, status = router.route_scalar(
+                source,
+                target,
+                deadline=deadline,
+                edge_ceiling=self.engine_edge_budget,
+            )
+        except Exception:
+            self._stats.incr("stage_errors_shard")
+            return None
+        finally:
+            self._stats.observe_latency(
+                "shard_scalar", time.perf_counter() - start
+            )
+        if status == "rule":
+            self._stats.incr("shard_scalar_rules")
+        elif status == "search":
+            self._stats.incr("shard_scalar_waves")
+        elif status == "busy":
+            self._stats.incr("shard_scalar_busy")
+        else:
+            self._stats.incr("shard_scalar_misses")
+        if verdict is None:
+            return None
+        answer, how = verdict
+        if how == "wave" or how == "cross":
+            # Rule verdicts re-derive in O(1); only searched verdicts
+            # are worth a cache slot (mirrors the batch route).
+            try:
+                self._cache.put(source, target, answer, version, confident=True)
+            except Exception:
+                self._stats.incr("stage_errors_cache")
+        return QueryOutcome(source, target, answer, True, "shard", version, how)
 
     def _shard_router(self, version: int) -> Optional["ShardRouter"]:
         """The fleet anchored at ``version``, deploying/refreshing lazily.
@@ -1246,6 +1335,8 @@ class ReachabilityService:
                     self._router = ShardRouter(
                         self.graph,
                         self._shards,
+                        pipeline=self._shard_pipeline,
+                        inflight_window=self._shard_inflight_window,
                         call_timeout_s=self._shard_call_timeout_s,
                         auto_respawn=self._shard_respawn,
                     )
@@ -1365,6 +1456,13 @@ class ReachabilityService:
             return QueryPlan(
                 source, target, version, PLAN_DEGRADED, why="pre-engine"
             )
+
+        if self._shards >= 2 and self._shard_route_scalar:
+            outcome = self._route_scalar_shard(source, target, version, deadline)
+            if outcome is not None:
+                return QueryPlan(
+                    source, target, version, PLAN_RESOLVED, outcome=outcome
+                )
 
         try:
             self._ensure_csr(version)

@@ -25,8 +25,10 @@ from typing import Dict, List, Optional, Tuple
 #: ``batch`` is one bit-parallel kernel wave (up to 64 queries per word),
 #: so its per-sample latency covers a whole wave, not one query;
 #: ``shard`` is one routed scatter–gather batch over the shard-worker
-#: fleet and ``shard_deploy`` covers partition + publish + spawn/swap of
-#: that fleet (paid once per served graph epoch).
+#: fleet, ``shard_scalar`` is one point query's consult of that fleet
+#: (rule-ladder probe plus, on a searchable miss, a 1-lane scheduler
+#: ride), and ``shard_deploy`` covers partition + publish + spawn/swap
+#: of the fleet (paid once per served graph epoch).
 STAGES = (
     "fastpath",
     "labels",
@@ -38,6 +40,7 @@ STAGES = (
     "journal",
     "batch",
     "shard",
+    "shard_scalar",
     "shard_deploy",
 )
 

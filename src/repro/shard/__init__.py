@@ -12,18 +12,25 @@ the condensation DAG.
 Layering: :mod:`repro.shard.partition` is pure graph analysis (no
 processes), :mod:`repro.shard.memory` owns the shared-memory segment
 protocol, :mod:`repro.shard.worker` is the spawned child's entry point,
-and :mod:`repro.shard.router` drives the fleet on the primary. The
-serving engine reaches all of it through
+:mod:`repro.shard.pipeline` is the event-driven scheduler that keeps the
+worker pool saturated, and :mod:`repro.shard.router` drives the fleet on
+the primary. The serving engine reaches all of it through
 :class:`~repro.shard.router.ShardRouter` only.
 """
 
 from repro.shard.partition import ShardInfo, ShardPlan, partition_graph
 try:  # router needs numpy + multiprocessing; partition is always importable
-    from repro.shard.router import ShardRouter, ShardWorkerHandle, WorkerDied
+    from repro.shard.router import (
+        ShardRouter,
+        ShardWorkerHandle,
+        WorkerDied,
+        classify_pair,
+    )
 except ImportError:  # pragma: no cover - no-numpy installs
     ShardRouter = None  # type: ignore[assignment]
     ShardWorkerHandle = None  # type: ignore[assignment]
     WorkerDied = None  # type: ignore[assignment]
+    classify_pair = None  # type: ignore[assignment]
 
 __all__ = [
     "ShardInfo",
@@ -32,4 +39,5 @@ __all__ = [
     "ShardRouter",
     "ShardWorkerHandle",
     "WorkerDied",
+    "classify_pair",
 ]

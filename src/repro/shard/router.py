@@ -38,21 +38,43 @@ fleet against a *new* plan.
 
 **Swap protocol.** On a graph epoch change the engine calls
 :meth:`refresh`: the router repartitions, publishes version-stamped
-segments, and either swaps workers in place (same shard count, all
+segments, and either swaps workers in place (same worker count, all
 alive) or respawns the fleet; old segments are unlinked after the swap
 acknowledges.
+
+**Pipelined execution (default).** Workers are a *pool*, not
+shard-bound processes: every worker attaches every shard's segment
+(shared physical pages — the cost is page-table entries), so any wave
+or closure step can run on any worker. With ``pipeline=True`` a batch's
+intra waves and cross-group closure steps all become tagged jobs on one
+:class:`~repro.shard.pipeline.PipelineRun` reactor, which multiplexes
+all worker pipes with :func:`multiprocessing.connection.wait`, keeps up
+to ``inflight_window`` requests in flight per worker, and advances each
+cross-shard fixpoint the moment its own replies land (the monotone sent
+masks make the fixpoint confluent, so no round barrier is needed). With
+``pipeline=False`` the legacy round-synchronous path runs — still
+improved: :meth:`_scatter` gathers with ``connection.wait`` instead of
+reading replies in posted order, so a slow shard no longer delays
+reading faster shards' replies. Scalar point queries ride the same
+machinery via :meth:`route_scalar`: the O(1) ladder answers lock-free;
+a searchable miss becomes a 1-lane run if the fleet is idle, and backs
+off to the caller when a batch holds the route lock.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.snapshot import CSRSnapshot
 from repro.shard.memory import SegmentHandle, publish_snapshot, segment_name
 from repro.shard.partition import ShardPlan, partition_graph
+from repro.shard.pipeline import PipelineRun
 from repro.shard.worker import shard_worker_main
 
 #: Lanes per cross-shard scatter–gather group (one uint64 word).
@@ -70,6 +92,39 @@ _VERDICT_QUOTIENT: Verdict = (False, "quotient")
 _VERDICT_DEG: Verdict = (False, "deg")
 _VERDICT_LABEL_POS: Verdict = (True, "label-pos")
 _VERDICT_LABEL_NEG: Verdict = (False, "label-neg")
+
+
+def classify_pair(plan: ShardPlan, s: int, t: int):
+    """Run one pair through the O(1) rule ladder.
+
+    Returns ``("resolved", (answer, how))`` when a rule answers,
+    ``("intra", shard)`` / ``("cross", (ks, kt))`` when a search is
+    needed, or ``("unknown", None)`` when an endpoint is not in the
+    plan. The batch ladder in :meth:`ShardRouter.execute_batch` is the
+    same logic unrolled for interpreter speed over thousands of pairs;
+    this per-pair form serves the scalar path and workload probes.
+    """
+    ks = plan.shard_of.get(s)
+    kt = plan.shard_of.get(t)
+    if ks is None or kt is None:
+        return ("unknown", None)
+    if plan.scc_of[s] == plan.scc_of[t]:
+        return ("resolved", _VERDICT_SCC)
+    for cid, reaches in plan.reaches_class.items():
+        if s in reaches and t in plan.reached_from_class[cid]:
+            return ("resolved", _VERDICT_CLASS)
+    if (
+        plan.shards[ks].scc_class is not None
+        or plan.shards[kt].scc_class is not None
+    ):
+        return ("resolved", _VERDICT_CLASS_NEG)
+    if kt not in plan.quotient_reach[ks]:
+        return ("resolved", _VERDICT_QUOTIENT)
+    if s not in plan.live_out[ks] or t not in plan.live_in[kt]:
+        return ("resolved", _VERDICT_DEG)
+    if ks == kt:
+        return ("intra", ks)
+    return ("cross", (ks, kt))
 
 
 class WorkerDied(Exception):
@@ -169,6 +224,9 @@ class ShardRouter:
         graph: DynamicDiGraph,
         num_shards: int,
         *,
+        num_workers: Optional[int] = None,
+        pipeline: bool = True,
+        inflight_window: int = 4,
         call_timeout_s: float = 30.0,
         auto_respawn: bool = True,
         max_worker_respawns: int = 3,
@@ -176,7 +234,12 @@ class ShardRouter:
     ) -> None:
         if num_shards < 2:
             raise ValueError("ShardRouter needs num_shards >= 2")
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("ShardRouter needs num_workers >= 1")
         self.requested_shards = num_shards
+        self.requested_workers = num_workers
+        self.pipeline = pipeline
+        self.inflight_window = max(1, inflight_window)
         self.call_timeout_s = call_timeout_s
         self.auto_respawn = auto_respawn
         self.max_worker_respawns = max_worker_respawns
@@ -189,6 +252,10 @@ class ShardRouter:
         self._respawn_attempts: List[int] = []
         self._last_respawn_at = 0.0
         self._closed = False
+        # Serializes every path that touches worker pipes. Batches take
+        # it blocking; scalar riders take it non-blocking and fall back
+        # to the caller instead of convoying behind a batch.
+        self._route_lock = threading.Lock()
         self._deploy(graph)
 
     # ------------------------------------------------------------------
@@ -219,15 +286,28 @@ class ShardRouter:
             )
         return handles
 
-    def _spec(
-        self, plan: ShardPlan, handles: List[SegmentHandle], index: int
+    def _fleet_spec(
+        self, plan: ShardPlan, handles: List[SegmentHandle]
     ) -> Dict[str, object]:
+        """The spec every worker attaches: all shards of one epoch."""
         return {
-            "name": handles[index].name,
-            "manifest": handles[index].manifest,
             "version": plan.version,
-            "boundary_out": plan.boundary_out.get(index, []),
+            "shards": [
+                {
+                    "name": handles[index].name,
+                    "manifest": handles[index].manifest,
+                    "boundary_out": plan.boundary_out.get(index, []),
+                }
+                for index in range(plan.num_shards)
+            ],
         }
+
+    def _worker_count(self, plan: ShardPlan) -> int:
+        return (
+            self.requested_workers
+            if self.requested_workers is not None
+            else plan.num_shards
+        )
 
     def _deploy(self, graph: DynamicDiGraph) -> None:
         plan = partition_graph(graph, self.requested_shards)
@@ -252,7 +332,7 @@ class ShardRouter:
             raise ValueError("cannot shard an empty graph")
         in_place = (
             self._plan is not None
-            and plan.num_shards == len(self._workers)
+            and self._worker_count(plan) == len(self._workers)
             and all(w.alive for w in self._workers)
         )
         if not in_place:
@@ -261,12 +341,10 @@ class ShardRouter:
             return
         handles = self._publish(plan)
         old_segments = self._segments
+        spec = self._fleet_spec(plan, handles)
         try:
-            for info in plan.shards:
-                self._workers[info.index].call(
-                    ("swap", self._spec(plan, handles, info.index)),
-                    self.call_timeout_s,
-                )
+            for worker in self._workers:
+                worker.call(("swap", spec), self.call_timeout_s)
         except (WorkerDied, _Stale, _OverBudget):
             # A failed swap leaves a mixed fleet: fall back to a full
             # respawn against the new plan.
@@ -283,15 +361,13 @@ class ShardRouter:
             handle.close()
         self._incr("swaps")
 
-    def _spawn(
-        self, plan: ShardPlan, handles: List[SegmentHandle], index: int
-    ) -> ShardWorkerHandle:
+    def _spawn(self, spec: Dict[str, object], index: int) -> ShardWorkerHandle:
         parent, child = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=shard_worker_main,
-            args=(child, self._spec(plan, handles, index)),
+            args=(child, spec),
             daemon=True,
-            name=f"ifca-shard-{index}",
+            name=f"ifca-worker-{index}",
         )
         process.start()
         child.close()
@@ -299,10 +375,11 @@ class ShardRouter:
 
     def _deploy_from(self, plan: ShardPlan) -> None:
         handles = self._publish(plan)
+        spec = self._fleet_spec(plan, handles)
         workers: List[ShardWorkerHandle] = []
         try:
-            for info in plan.shards:
-                workers.append(self._spawn(plan, handles, info.index))
+            for index in range(self._worker_count(plan)):
+                workers.append(self._spawn(spec, index))
             for worker in workers:
                 worker.call(("ping",), self.call_timeout_s)
         except Exception:
@@ -334,6 +411,7 @@ class ShardRouter:
             return 0
         self._sweep_dead()
         respawned = 0
+        spec = self._fleet_spec(self._plan, self._segments)
         for index, worker in enumerate(self._workers):
             if worker.alive:
                 continue
@@ -342,7 +420,7 @@ class ShardRouter:
             self._respawn_attempts[index] += 1
             replacement: Optional[ShardWorkerHandle] = None
             try:
-                replacement = self._spawn(self._plan, self._segments, index)
+                replacement = self._spawn(spec, index)
                 if probe:
                     replacement.call(
                         ("probe", self._plan.version), self.call_timeout_s
@@ -358,6 +436,59 @@ class ShardRouter:
         if respawned:
             self._last_respawn_at = time.monotonic()
         return respawned
+
+    def warm_fleet(self) -> int:
+        """Fault every (worker, shard) wave path once, off the timed path.
+
+        A fresh worker pays one-time costs on its first wave over a
+        segment — the shared CSR pages fault in and the bit-BFS kernels
+        run their first-call setup — and that cost otherwise lands
+        inside whichever serving batch happens to reach the cold worker
+        first (tens of milliseconds on a fresh fleet, an order of
+        magnitude over a warm wave). Deployments that care about
+        first-batch latency (and the serving benchmark, whose contract
+        is to time steady state) call this once after deploy: each
+        alive worker runs one tiny wave per shard. Best-effort — a
+        dead, stale, or over-budget worker just stops warming; serving
+        correctness never depends on warmth. Returns the number of
+        (worker, shard) paths warmed.
+        """
+        plan = self._plan
+        if plan is None:
+            return 0
+        probes: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for shard, sub in enumerate(plan.subgraphs):
+            verts: List[int] = []
+            for v in sub.vertices():
+                verts.append(v)
+                if len(verts) == 2:
+                    break
+            if not verts:
+                continue
+            probes.append((shard, [(verts[0], verts[-1])]))
+        warmed = 0
+        with self._route_lock:
+            for worker in self._workers:
+                if not worker.alive:
+                    continue
+                for shard, pairs in probes:
+                    try:
+                        worker.call(
+                            (
+                                "wave",
+                                plan.version,
+                                shard,
+                                pairs,
+                                "forward",
+                                self.call_timeout_s,
+                                None,
+                            ),
+                            self.call_timeout_s,
+                        )
+                    except (WorkerDied, _Stale, _OverBudget):
+                        break
+                    warmed += 1
+        return warmed
 
     def _sweep_dead(self) -> None:
         """Notice workers that died without a call failing on them.
@@ -432,6 +563,18 @@ class ShardRouter:
         """
         if self._closed or self._plan is None:
             return {}, list(pairs)
+        with self._route_lock:
+            return self._execute_batch_locked(
+                pairs, deadline, edge_ceiling, label_filter
+            )
+
+    def _execute_batch_locked(
+        self,
+        pairs: Sequence[Pair],
+        deadline: Optional[float],
+        edge_ceiling: Optional[int],
+        label_filter,
+    ) -> Tuple[Dict[Pair, Verdict], List[Pair]]:
         self._maybe_respawn()
         plan = self._plan
         resolved: Dict[Pair, Verdict] = {}
@@ -531,51 +674,124 @@ class ShardRouter:
             if n:
                 self._incr(f"route_{how}", n)
 
-        if intra:
-            # One batched call per shard — the worker chunks into 64-lane
-            # waves itself, so a shard's whole intra load costs one IPC
-            # round trip — posted to every shard before the first reply
-            # is collected.
-            plan_version = plan.version
-            replies, failures = self._scatter(
-                {
-                    shard: (
-                        "wave",
-                        plan_version,
-                        plist,
-                        "forward",
-                        self._time_left(deadline),
-                        edge_ceiling,
-                    )
-                    for shard, plist in intra.items()
-                }
-            )
-            for shard, exc in failures.items():
-                self._note_failure(exc)
-                unresolved.extend(intra[shard])
-            for shard, reply in replies.items():
-                _ok, answers, stats = reply
-                self._incr("worker_edge_accesses", int(stats[2]))
-                for pair, answer in zip(intra[shard], answers):
-                    resolved[pair] = (answer, "wave")
-                self._incr("route_waves", int(stats[4]))
-                self._incr("route_wave_pairs", len(intra[shard]))
+        if self.pipeline:
+            if intra or cross:
+                # Every intra 64-lane chunk and every cross-group closure
+                # step becomes a tagged job on one reactor; any job can
+                # run on any worker (all segments attached), so a busy
+                # shard's waves spill into idle workers and many group
+                # fixpoints advance concurrently.
+                run = PipelineRun(
+                    self, deadline=deadline, edge_ceiling=edge_ceiling
+                )
+                for shard, plist in intra.items():
+                    for start in range(0, len(plist), GROUP_LANES):
+                        run.add_intra(shard, plist[start : start + GROUP_LANES])
+                for start in range(0, len(cross), GROUP_LANES):
+                    run.add_group(cross[start : start + GROUP_LANES])
+                run_resolved, run_unresolved = run.run()
+                resolved.update(run_resolved)
+                unresolved.extend(run_unresolved)
+                self._incr("route_pipeline_batches")
+        else:
+            if intra:
+                # One batched call per shard — the worker chunks into
+                # 64-lane waves itself, so a shard's whole intra load
+                # costs one IPC round trip — posted to every shard
+                # before the first reply is collected.
+                plan_version = plan.version
+                replies, failures = self._scatter(
+                    {
+                        shard: (
+                            "wave",
+                            plan_version,
+                            shard,
+                            plist,
+                            "forward",
+                            self._time_left(deadline),
+                            edge_ceiling,
+                        )
+                        for shard, plist in intra.items()
+                    }
+                )
+                for shard, exc in failures.items():
+                    self._note_failure(exc)
+                    unresolved.extend(intra[shard])
+                for shard, reply in replies.items():
+                    _ok, answers, stats = reply
+                    self._incr("worker_edge_accesses", int(stats[2]))
+                    for pair, answer in zip(intra[shard], answers):
+                        resolved[pair] = (answer, "wave")
+                    self._incr("route_waves", int(stats[4]))
+                    self._incr("route_wave_pairs", len(intra[shard]))
 
-        for start in range(0, len(cross), GROUP_LANES):
-            group = cross[start : start + GROUP_LANES]
-            try:
-                verdicts = self._cross_group(group, deadline, edge_ceiling)
-            except (WorkerDied, _Stale, _OverBudget) as exc:
-                self._note_failure(exc)
-                unresolved.extend(group)
-                continue
-            resolved.update(verdicts)
-            self._incr("route_cross_groups")
-            self._incr("route_cross_pairs", len(group))
+            for start in range(0, len(cross), GROUP_LANES):
+                group = cross[start : start + GROUP_LANES]
+                try:
+                    verdicts = self._cross_group(group, deadline, edge_ceiling)
+                except (WorkerDied, _Stale, _OverBudget) as exc:
+                    self._note_failure(exc)
+                    unresolved.extend(group)
+                    continue
+                resolved.update(verdicts)
+                self._incr("route_cross_groups")
+                self._incr("route_cross_pairs", len(group))
 
         if unresolved:
             self._incr("route_unresolved", len(unresolved))
         return resolved, unresolved
+
+    def route_scalar(
+        self,
+        s: int,
+        t: int,
+        *,
+        deadline: Optional[float] = None,
+        edge_ceiling: Optional[int] = None,
+    ) -> Tuple[Optional[Verdict], str]:
+        """Route one point query; returns ``(verdict_or_None, status)``.
+
+        The O(1) rule ladder runs lock-free (the plan is immutable per
+        epoch), so a rule hit costs no coordination at all. A searchable
+        pair becomes a 1-lane rider on the pipelined scheduler — but
+        only if the route lock is free: a scalar query never queues
+        behind a batch (status ``"busy"``), it falls back to the
+        caller's local engine instead. Status is one of ``"rule"``,
+        ``"search"``, ``"busy"``, ``"miss"``.
+        """
+        if self._closed or self._plan is None:
+            return None, "miss"
+        kind, info = classify_pair(self._plan, s, t)
+        if kind == "resolved":
+            self._incr("route_scalar_rules")
+            return info, "rule"
+        if kind == "unknown":
+            return None, "miss"
+        if not self._route_lock.acquire(blocking=False):
+            self._incr("route_scalar_busy")
+            return None, "busy"
+        try:
+            self._maybe_respawn()
+            if not any(w.alive for w in self._workers):
+                self._incr("route_scalar_misses")
+                return None, "miss"
+            run = PipelineRun(
+                self, deadline=deadline, edge_ceiling=edge_ceiling
+            )
+            pair = (s, t)
+            if kind == "intra":
+                run.add_intra(info, [pair])
+            else:
+                run.add_group([pair])
+            resolved, _unresolved = run.run()
+            verdict = resolved.get(pair)
+            if verdict is None:
+                self._incr("route_scalar_misses")
+                return None, "miss"
+            self._incr("route_scalar_waves")
+            return verdict, "search"
+        finally:
+            self._route_lock.release()
 
     def _note_failure(self, exc: Exception) -> None:
         if isinstance(exc, WorkerDied):
@@ -593,28 +809,74 @@ class ShardRouter:
     def _scatter(
         self, msgs: Dict[int, Tuple]
     ) -> Tuple[Dict[int, Tuple], Dict[int, Exception]]:
-        """Post one message per shard, then gather every reply.
+        """Post one message per shard, then gather replies as they land.
 
-        Overlaps worker compute with pipe latency: all messages are in
-        flight before the first reply is read. Every successful post is
-        matched by a wait even after a failure — a reply left unread
-        would desynchronize the worker's request/reply protocol for the
-        rest of the epoch. Returns ``(replies, failures)`` per shard.
+        All messages are in flight before the first reply is read, and
+        the gather multiplexes every posted pipe with
+        ``connection.wait`` — replies are consumed in *arrival* order,
+        so one slow shard no longer blocks reading the fast shards'
+        finished replies (the old gather waited in posted order). Each
+        worker serves its pipe FIFO, so per-worker replies still match
+        posts positionally. Workers that answer nothing within
+        ``call_timeout_s`` of the gather's start are convicted and
+        killed (the SIGSTOP catch). Returns ``(replies, failures)`` per
+        shard.
         """
         replies: Dict[int, Tuple] = {}
         failures: Dict[int, Exception] = {}
-        posted: List[int] = []
+        fifo: Dict[int, Deque[int]] = {}
         for shard, msg in msgs.items():
+            widx = shard % len(self._workers) if self._workers else 0
             try:
-                self._workers[shard].post(msg)
-                posted.append(shard)
+                self._workers[widx].post(msg)
             except WorkerDied as exc:
                 failures[shard] = exc
-        for shard in posted:
-            try:
-                replies[shard] = self._workers[shard].wait(self.call_timeout_s)
-            except (WorkerDied, _Stale, _OverBudget) as exc:
-                failures[shard] = exc
+                continue
+            fifo.setdefault(widx, deque()).append(shard)
+        deadline = time.monotonic() + self.call_timeout_s
+        while fifo:
+            conns = {self._workers[w].conn: w for w in fifo}
+            timeout = max(0.0, deadline - time.monotonic())
+            ready = mp_connection.wait(list(conns), timeout=timeout)
+            if not ready:
+                timed_out = WorkerDied(
+                    f"worker call timed out after {self.call_timeout_s}s"
+                )
+                for widx in list(fifo):
+                    self._workers[widx].kill()
+                    for shard in fifo.pop(widx):
+                        failures[shard] = timed_out
+                break
+            for conn in ready:
+                widx = conns[conn]
+                queue = fifo.get(widx)
+                if not queue:
+                    continue
+                try:
+                    while queue:
+                        reply = conn.recv()
+                        shard = queue.popleft()
+                        kind = reply[0]
+                        if kind == "stale":
+                            failures[shard] = _Stale(str(reply[1]))
+                        elif kind == "budget":
+                            failures[shard] = _OverBudget(str(reply[1]))
+                        elif kind == "error":
+                            failures[shard] = WorkerDied(
+                                f"worker error: {reply[1]}"
+                            )
+                        else:
+                            replies[shard] = reply
+                        if not conn.poll(0):
+                            break
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    self._workers[widx].kill()
+                    died = WorkerDied(f"worker pipe failed: {exc!r}")
+                    for shard in queue:
+                        failures[shard] = died
+                    queue.clear()
+                if not queue:
+                    del fifo[widx]
         return replies, failures
 
     def _cross_group(
@@ -676,6 +938,7 @@ class ShardRouter:
                     msgs[shard] = (
                         "reach",
                         plan.version,
+                        shard,
                         fresh,
                         list(targets_in.get(shard, {})),
                         True,
@@ -723,7 +986,10 @@ class ShardRouter:
         plan_summary = self._plan.summary() if self._plan is not None else {}
         return {
             "requested_shards": self.requested_shards,
+            "mode": "pipelined" if self.pipeline else "sync",
+            "inflight_window": self.inflight_window,
             "healthy": self.healthy,
+            "num_workers": len(self._workers),
             "workers_alive": sum(1 for w in self._workers if w.alive),
             "respawn_attempts": list(self._respawn_attempts),
             "plan": plan_summary,

@@ -1,38 +1,51 @@
-"""Shard worker process: attach, sweep, swap.
+"""Shard worker process: attach every segment, serve tagged waves.
 
 Spawned (never forked — numpy state and the primary's locks must not be
-inherited) with one end of a duplex pipe and a segment spec. The worker
-attaches its shard's shared-memory segment, rebuilds the frozen
-:class:`~repro.graph.snapshot.CSRSnapshot` zero-copy, and then serves a
-tuple-message loop:
+inherited) with one end of a duplex pipe and the *fleet* spec: the
+shared-memory segment of **every** shard in the plan. Attaching all of
+them costs nothing beyond page-table entries — the segments are shared
+physical pages — and it is what turns the fleet from K shard-bound
+processes into a worker *pool*: any worker can serve a wave for any
+shard, so the scheduler can hand a busy shard's waves to idle workers.
+
+Wire protocol
+-------------
+Every request may be **tagged**: ``(req_id, msg)`` with an ``int``
+request id answers ``(req_id, reply)``. Tagging is what lets the
+pipelined router keep several requests in flight per worker and match
+replies out of posted order across the fleet; the worker itself still
+serves its own pipe strictly FIFO. Untagged messages (the legacy
+round-synchronous path and the control plane) answer bare ``reply``
+tuples exactly as before.
 
 ``("ping",)``
     → ``("ok", version)`` — liveness + version handshake.
 ``("probe", version)``
-    → ``("ok", version, (num_vertices, num_edges))`` — liveness *plus* a
-    read through the attached CSR mapping: proves a freshly respawned
-    worker really re-attached the published segment, not just that its
-    pipe answers.
-``("wave", version, pairs, lead, time_left, edge_ceiling)``
+    → ``("ok", version, [(num_vertices, num_edges), ...])`` — liveness
+    *plus* a read through every attached CSR mapping: proves a freshly
+    respawned worker really re-attached all published segments, not
+    just that its pipe answers.
+``("wave", version, shard, pairs, lead, time_left, edge_ceiling)``
     → ``("ok", answers, stats)`` — intra-shard bit-parallel BiBFS over
-    any number of pairs, chunked worker-side into ≤64-lane waves
-    (:func:`~repro.graph.bitsearch.csr_bit_bibfs`). One message per
-    shard per batch: the chunk loop lives here precisely so the primary
-    pays one IPC round trip per shard, not one per 64 lanes.
-``("reach", version, seeds, extra_probes, forward, time_left, edge_ceiling)``
-    → ``("ok", labels, stats)`` — one bit-label closure
-    (:func:`~repro.graph.bitsearch.csr_bit_reach`) reporting the shard's
-    standing boundary probes plus ``extra_probes``.
+    shard ``shard``'s CSR, chunked worker-side into ≤64-lane waves
+    (:func:`~repro.graph.bitsearch.csr_bit_bibfs`). One shared budget
+    spans the message's chunks: the edge ceiling bounds the whole
+    per-message batch, not each 64-lane wave separately.
+``("reach", version, shard, seeds, extra_probes, forward, time_left, edge_ceiling)``
+    → ``("ok", labels, stats)`` — one bit-label closure over shard
+    ``shard`` (:func:`~repro.graph.bitsearch.csr_bit_reach`) reporting
+    that shard's standing boundary probes plus ``extra_probes``.
 ``("swap", spec)``
-    → ``("ok", version)`` — attach the republished segment for a new
-    graph epoch, then drop the old mapping.
+    → ``("ok", version)`` — attach the republished fleet spec for a new
+    graph epoch, then drop the old mappings.
 ``("stop",)``
     → ``("ok", "bye")`` and exit.
 
-Version mismatches answer ``("stale", worker_version)``; expired budgets
-answer ``("budget", reason)``; any other exception answers
-``("error", repr)`` and the loop survives — containment is the router's
-job, the worker just reports.
+Version mismatches answer ``("stale", worker_version)``; an unknown
+shard index answers ``("error", ...)``; expired budgets answer
+``("budget", reason)``; any other exception answers ``("error", repr)``
+and the loop survives — containment is the router's job, the worker
+just reports.
 """
 
 from __future__ import annotations
@@ -48,23 +61,35 @@ from repro.shard.memory import attach_snapshot
 _WAVE_LANES = 64
 
 
-class _ShardState:
-    """The worker's view of one published shard epoch."""
+class _FleetState:
+    """The worker's view of one published fleet epoch (all shards)."""
 
     def __init__(self, spec: Dict[str, object]) -> None:
         self.version = int(spec["version"])
-        self.boundary: List[int] = list(spec["boundary_out"])  # type: ignore[arg-type]
-        self.shm, self.csr = attach_snapshot(
-            str(spec["name"]), spec["manifest"]  # type: ignore[arg-type]
-        )
+        self.boundaries: List[List[int]] = []
+        self.shms = []
+        self.csrs = []
+        try:
+            for shard_spec in spec["shards"]:  # type: ignore[union-attr]
+                shm, csr = attach_snapshot(
+                    str(shard_spec["name"]), shard_spec["manifest"]
+                )
+                self.shms.append(shm)
+                self.csrs.append(csr)
+                self.boundaries.append(list(shard_spec["boundary_out"]))
+        except Exception:
+            self.release()
+            raise
 
     def release(self) -> None:
-        """Drop the mapping (best effort: live views pin it)."""
-        self.csr = None  # type: ignore[assignment]
-        try:
-            self.shm.close()
-        except BufferError:  # pragma: no cover - a view outlived the swap
-            pass
+        """Drop every mapping (best effort: live views pin them)."""
+        self.csrs = []
+        for shm in self.shms:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - a view outlived the swap
+                pass
+        self.shms = []
 
 
 def _budget(time_left: Optional[float], edge_ceiling: Optional[int]) -> Optional[Budget]:
@@ -75,59 +100,71 @@ def _budget(time_left: Optional[float], edge_ceiling: Optional[int]) -> Optional
 
 def shard_worker_main(conn, spec: Dict[str, object]) -> None:
     """Entry point for one spawned shard worker (blocks until stopped)."""
-    state = _ShardState(spec)
+    state = _FleetState(spec)
     try:
         while True:
             try:
                 msg = conn.recv()
             except (EOFError, OSError):
                 break
+            # Tagged request: (req_id, msg). The id is opaque to the
+            # worker — it is echoed on the reply so the router can match
+            # replies out of posted order across many in-flight requests.
+            req_id = None
+            if isinstance(msg[0], int):
+                req_id, msg = msg[0], msg[1]
+
+            def respond(reply: Tuple) -> None:
+                conn.send(reply if req_id is None else (req_id, reply))
+
             kind = msg[0]
             if kind == "stop":
-                conn.send(("ok", "bye"))
+                respond(("ok", "bye"))
                 break
             try:
                 if kind == "swap":
-                    new_state = _ShardState(msg[1])
-                    conn.send(("ok", new_state.version))
+                    new_state = _FleetState(msg[1])
+                    respond(("ok", new_state.version))
                     state.release()
                     state = new_state
                 else:
-                    conn.send(_handle(state, msg))
+                    respond(_handle(state, msg))
             except BudgetExceeded as exc:
-                conn.send(("budget", exc.reason))
+                respond(("budget", exc.reason))
             except Exception as exc:  # noqa: BLE001 - report, don't die
-                conn.send(("error", repr(exc)))
+                respond(("error", repr(exc)))
     finally:
         state.release()
         conn.close()
 
 
-def _handle(state: _ShardState, msg: Tuple) -> Tuple:
+def _handle(state: _FleetState, msg: Tuple) -> Tuple:
     kind = msg[0]
     if kind == "ping":
         return ("ok", state.version)
     if kind == "probe":
         if msg[1] != state.version:
             return ("stale", state.version)
-        # Touch the mapping end to end — a probe must fault the pages a
-        # respawned worker claims to have re-attached.
-        csr = state.csr
-        return ("ok", state.version, (csr.num_vertices, csr.num_edges))
+        # Touch every mapping end to end — a probe must fault the pages
+        # a respawned worker claims to have re-attached.
+        return (
+            "ok",
+            state.version,
+            [(csr.num_vertices, csr.num_edges) for csr in state.csrs],
+        )
     if kind == "wave":
-        _version, pairs, lead, time_left, edge_ceiling = msg[1:]
+        _version, shard, pairs, lead, time_left, edge_ceiling = msg[1:]
         if _version != state.version:
             return ("stale", state.version)
+        csr = state.csrs[shard]
         started = time.perf_counter()
-        # One shared budget across all chunks: the edge ceiling bounds
-        # the whole per-shard batch, not each 64-lane wave separately.
         budget = _budget(time_left, edge_ceiling)
         answers: List[bool] = []
         lanes = layers = edges = waves = 0
         for start in range(0, len(pairs), _WAVE_LANES):
             chunk = [tuple(p) for p in pairs[start : start + _WAVE_LANES]]
             chunk_answers, stats = csr_bit_bibfs(
-                state.csr, chunk, budget=budget, lead=lead
+                csr, chunk, budget=budget, lead=lead
             )
             answers.extend(chunk_answers)
             lanes += stats.lanes
@@ -140,15 +177,15 @@ def _handle(state: _ShardState, msg: Tuple) -> Tuple:
             (lanes, layers, edges, time.perf_counter() - started, waves),
         )
     if kind == "reach":
-        _version, seeds, extra_probes, forward, time_left, edge_ceiling = msg[1:]
+        (_version, shard, seeds, extra_probes, forward,
+         time_left, edge_ceiling) = msg[1:]
         if _version != state.version:
             return ("stale", state.version)
         started = time.perf_counter()
-        probes = state.boundary if not extra_probes else [
-            *state.boundary, *extra_probes
-        ]
+        boundary = state.boundaries[shard]
+        probes = boundary if not extra_probes else [*boundary, *extra_probes]
         labels, stats = csr_bit_reach(
-            state.csr,
+            state.csrs[shard],
             [tuple(s) for s in seeds],
             probes,
             forward=bool(forward),

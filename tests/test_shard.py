@@ -287,6 +287,9 @@ class TestRouter:
         assert stats["plan"]["num_shards"] == router.num_shards
         assert stats["healthy"] is True
         assert stats["workers_alive"] == router.num_shards
+        assert stats["mode"] == "pipelined"
+        assert stats["num_workers"] == router.num_shards
+        assert stats["inflight_window"] >= 1
         assert stats["counters"].get("deploys", 0) >= 1
 
     def test_zero_edge_ceiling_unresolves_searches(self, fleet):
@@ -451,7 +454,7 @@ def test_kill_midwave_releases_cleanly():
         # Post a wave and kill before collecting the reply — the seam a
         # crash-mid-batch lands on.
         victim = router._workers[0]
-        victim.post(("wave", router.version, pairs, "forward", None, None))
+        victim.post(("wave", router.version, 0, pairs, "forward", None, None))
         victim.kill()
         assert not victim.process.is_alive()  # reaped, not a zombie
         # SIGKILL skipped all worker cleanup; the router's segments must
@@ -486,9 +489,12 @@ def test_worker_death_mid_cross_fixpoint(monkeypatch):
     with ReachabilityService(
         # No label tier: its batch prefilter would answer the cross-shard
         # pairs before any worker round trip, and this test needs the
-        # fixpoint to actually run.
+        # fixpoint to actually run. Sync mode: the round-based fixpoint
+        # (and its ``_scatter`` seam) only exists with pipelining off —
+        # the pipelined equivalent is covered by the mid-pipeline kill
+        # tests below.
         graph.copy(), shards=3, num_supportive=0, cache_capacity=4,
-        use_labels=False,
+        use_labels=False, shard_pipeline=False,
     ) as svc:
         svc.query_batch(pairs[:10], strategy="bitparallel")
         router = svc.router
@@ -513,6 +519,252 @@ def test_worker_death_mid_cross_fixpoint(monkeypatch):
         assert state["reach_rounds"] >= 2  # the sabotage actually fired
         counters = svc.stats()["counters"]
         assert counters.get("shard_unresolved", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Pipelined execution (PR 10): tagged protocol, scheduler, scalar routing
+# ----------------------------------------------------------------------
+@needs_fleet
+@pytest.mark.shard
+def test_tagged_protocol_reply_matching(fleet):
+    """The wire protocol: multiple tagged requests in flight on one pipe
+    echo their ids back, any worker serves any shard's wave (the pool
+    has every segment attached), and untagged control messages keep the
+    legacy bare-reply shape."""
+    graph, router = fleet
+    worker = router._workers[0]
+    worker.conn.send((11, ("ping",)))
+    worker.conn.send((7, ("probe", router.version)))
+    worker.conn.send((3, ("ping",)))
+    replies = [worker.conn.recv() for _ in range(3)]
+    assert [rid for rid, _ in replies] == [11, 7, 3]
+    assert replies[0][1] == ("ok", router.version)
+    probe = replies[1][1]
+    assert probe[0] == "ok" and len(probe[2]) == router.num_shards
+
+    # Worker 0 serving a wave for the *last* shard: with the old
+    # shard-bound protocol this was impossible; now shard is an argument.
+    plan = router._plan
+    shard = router.num_shards - 1
+    verts = sorted(v for v, k in plan.shard_of.items() if k == shard)[:6]
+    wave_pairs = [(a, b) for a in verts for b in verts]
+    worker.conn.send(
+        (5, ("wave", router.version, shard, wave_pairs, "forward", None, None))
+    )
+    rid, reply = worker.conn.recv()
+    assert rid == 5 and reply[0] == "ok"
+    sub = plan.subgraphs[shard]
+    for (s, t), answer in zip(wave_pairs, reply[1]):
+        assert answer == is_reachable_bfs(sub, s, t), (s, t)
+
+    worker.conn.send(("ping",))
+    assert worker.conn.recv() == ("ok", router.version)
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_sync_mode_batch_matches_oracle():
+    """pipeline=False keeps the round-synchronous path alive (the bench
+    baseline): oracle-exact, counts rounds not pipeline batches, and its
+    rewritten ``connection.wait`` gather drains every posted reply."""
+    # num_cycles != the module fixture's default: segment names embed
+    # (pid, shard, version), so a same-version second fleet would clash.
+    graph = chain_graph(num_cycles=32)
+    pairs = sample_pairs(graph, 200, seed=19)
+    router = ShardRouter(graph, 3, pipeline=False, call_timeout_s=20.0)
+    try:
+        assert router.stats()["mode"] == "sync"
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not unresolved
+        for (s, t), (answer, how) in resolved.items():
+            assert answer == is_reachable_bfs(graph, s, t), (s, t, how)
+        assert router.counters.get("route_pipeline_batches", 0) == 0
+        assert router.counters.get("route_cross_rounds", 0) >= 1
+        # A second batch proves the pipes stayed request/reply coherent.
+        resolved, unresolved = router.execute_batch(pairs[:50])
+        assert not unresolved
+    finally:
+        router.close()
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_inflight_window_backpressure():
+    """window=1 floods: more jobs than window slots must stall the queue
+    (counted) rather than overrun the pipes, and every verdict stays
+    oracle-exact with replies matched out of posted order."""
+    graph = chain_graph(num_cycles=36)
+    pairs = sample_pairs(graph, 400, seed=23)
+    router = ShardRouter(graph, 3, inflight_window=1, call_timeout_s=20.0)
+    try:
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not unresolved
+        for (s, t), (answer, how) in resolved.items():
+            assert answer == is_reachable_bfs(graph, s, t), (s, t, how)
+        assert router.counters.get("route_pipeline_batches", 0) == 1
+        assert router.counters.get("route_inflight_stalls", 0) >= 1
+    finally:
+        router.close()
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_sigkill_mid_pipeline_contains_to_one_worker(monkeypatch):
+    """SIGKILL one worker while the reactor has many jobs in flight:
+    only that worker's jobs (and their groups, all-or-nothing) fail,
+    surviving workers' replies keep landing, nothing wedges, and a
+    respawn re-attaches the same plan for a clean follow-up batch."""
+    from repro.shard.pipeline import PipelineRun
+
+    graph = chain_graph(num_cycles=24)
+    pairs = sample_pairs(graph, 400, seed=25)
+    router = ShardRouter(
+        graph, 3, inflight_window=1, call_timeout_s=20.0,
+        auto_respawn=False,
+    )
+    try:
+        original = PipelineRun._pump
+        state = {"pumps": 0, "killed": False}
+
+        def sabotaged(self):
+            state["pumps"] += 1
+            if state["pumps"] == 2 and not state["killed"]:
+                victim = router._workers[0]
+                if victim.process.is_alive():
+                    os.kill(victim.process.pid, signal.SIGKILL)
+                    victim.process.join(5)
+                state["killed"] = True
+            return original(self)
+
+        monkeypatch.setattr(PipelineRun, "_pump", sabotaged)
+        resolved, unresolved = router.execute_batch(pairs)
+        assert state["killed"]
+        assert not router.healthy
+        assert set(resolved) | set(unresolved) == set(dict.fromkeys(pairs))
+        assert not set(resolved) & set(unresolved)
+        for (s, t), (answer, how) in resolved.items():
+            assert answer == is_reachable_bfs(graph, s, t), (s, t, how)
+        # Containment, not collapse: the surviving workers still answered.
+        assert resolved
+
+        assert router.respawn_dead() == 1
+        assert router.healthy
+        resolved, unresolved = router.execute_batch(pairs)
+        assert not unresolved
+        for (s, t), (answer, _how) in resolved.items():
+            assert answer == is_reachable_bfs(graph, s, t), (s, t)
+    finally:
+        router.close()
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_sigstop_mid_pipeline_convicted_by_timeout(monkeypatch):
+    """SIGSTOP freezes a worker without closing its pipe — only the
+    in-flight age watchdog can convict it. The batch must complete with
+    the stopped worker's jobs contained, never wedge on the dead pipe."""
+    from repro.shard.pipeline import PipelineRun
+
+    graph = chain_graph(num_cycles=24)
+    pairs = sample_pairs(graph, 400, seed=27)
+    router = ShardRouter(
+        graph, 3, inflight_window=1, call_timeout_s=1.5,
+        auto_respawn=False,
+    )
+    try:
+        original = PipelineRun._wait_once
+        state = {"waits": 0}
+
+        def sabotaged(self):
+            state["waits"] += 1
+            if state["waits"] == 1:
+                os.kill(router._workers[1].process.pid, signal.SIGSTOP)
+            return original(self)
+
+        monkeypatch.setattr(PipelineRun, "_wait_once", sabotaged)
+        resolved, unresolved = router.execute_batch(pairs)
+        assert state["waits"] >= 1
+        assert not router.healthy  # convicted by timeout, not by EOF
+        assert router.counters.get("worker_failures", 0) >= 1
+        assert set(resolved) | set(unresolved) == set(dict.fromkeys(pairs))
+        for (s, t), (answer, how) in resolved.items():
+            assert answer == is_reachable_bfs(graph, s, t), (s, t, how)
+    finally:
+        router.close()  # SIGKILL terminates even a stopped process
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_scalar_routing_vs_oracle_under_churn():
+    """Scalar ``query()`` consults the deployed fleet (counter-visible),
+    stays oracle-exact through churn that leaves the fleet stale, and
+    rides again once batches re-anchor the fleet at the new epoch."""
+    from repro.service import ReachabilityService
+
+    graph = chain_graph(num_cycles=24)
+    pairs = sample_pairs(graph, 120, seed=17)
+    with ReachabilityService(
+        graph.copy(), shards=3, num_supportive=0, cache_capacity=4,
+        use_labels=False, shard_refresh_threshold=2,
+    ) as svc:
+        svc.query_batch(pairs, strategy="bitparallel")  # deploys the fleet
+        router = svc.router
+        assert router is not None
+        for s, t in pairs:
+            outcome = svc.query(s, t)
+            assert outcome.answer == is_reachable_bfs(graph, s, t), (s, t)
+        counters = svc.stats()["counters"]
+        consults = (
+            counters.get("shard_scalar_rules", 0)
+            + counters.get("shard_scalar_waves", 0)
+        )
+        assert consults > 0
+        assert router.counters.get("route_scalar_waves", 0) > 0
+
+        # Churn: the fleet is stale for the new version — scalar queries
+        # skip it (never block on another epoch's router) and stay exact.
+        svc.add_edge(1, 66)
+        oracle = graph.copy()
+        oracle.add_edge(1, 66)
+        for s, t in pairs[:40]:
+            outcome = svc.query(s, t)
+            assert outcome.answer == is_reachable_bfs(oracle, s, t), (s, t)
+
+        # Batches at the new version re-anchor the fleet; scalar rides it.
+        svc.query_batch(pairs[:30], strategy="bitparallel")
+        svc.query_batch(pairs[:30], strategy="bitparallel")
+        assert svc.router.version == svc.graph.version
+        for s, t in pairs[40:90]:
+            outcome = svc.query(s, t)
+            assert outcome.answer == is_reachable_bfs(oracle, s, t), (s, t)
+
+
+@needs_fleet
+@pytest.mark.shard
+def test_scalar_route_busy_falls_back_locally():
+    """A scalar query finding the route lock held (a batch in flight)
+    must not queue behind it: it answers on the local path, exactly."""
+    from repro.service import ReachabilityService
+
+    graph = chain_graph(num_cycles=16)
+    pairs = sample_pairs(graph, 60, seed=29)
+    with ReachabilityService(
+        graph.copy(), shards=2, num_supportive=0, cache_capacity=4,
+        use_labels=False,
+    ) as svc:
+        svc.query_batch(pairs, strategy="bitparallel")
+        router = svc.router
+        assert router is not None
+        assert router._route_lock.acquire(timeout=5)
+        try:
+            for s, t in pairs:
+                outcome = svc.query(s, t)
+                assert outcome.answer == is_reachable_bfs(graph, s, t), (s, t)
+        finally:
+            router._route_lock.release()
+        counters = svc.stats()["counters"]
+        assert counters.get("shard_scalar_busy", 0) >= 1
+        assert counters.get("shard_scalar_waves", 0) == 0
 
 
 def test_service_shard_fallback_without_kernels():
